@@ -1,0 +1,40 @@
+// EXP-I — §5 ablation: ν drives the phase count O(log Δ̄ / ν) and the
+// quality ε = 8ν of the balanced orientation.
+//
+// Fixed graph, sweep ν: phases rise as ~1/ν; the measured worst imbalance
+// (max excess beyond η_e, normalized by Δ̄) falls with ν until the per-phase
+// drift floor takes over (the regime EXP-B quantifies).
+#include <cstdio>
+
+#include "core/balanced_orientation.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+using namespace dec;
+
+int main() {
+  std::printf("EXP-I: nu trade-off in the balanced orientation (paper §5)\n\n");
+
+  const auto bg = gen::regular_bipartite(512, 128);
+  const std::vector<double> eta(
+      static_cast<std::size_t>(bg.graph.num_edges()), 0.0);
+  const int dbar = bg.graph.max_edge_degree();
+
+  Table t("128-regular bipartite, eta = 0",
+          {"nu", "eps=8nu", "phases", "rounds", "flips", "leftover",
+           "max_excess", "excess/dbar"});
+  for (const double nu : {0.125, 0.0625, 0.03125, 0.015625}) {
+    OrientationParams p;
+    p.nu = nu;
+    const auto r = balanced_orientation(bg.graph, bg.parts, eta, p);
+    t.add_row({fmt_double(nu, 4), fmt_double(eps_from_nu(nu), 2),
+               fmt_int(r.phases), fmt_int(r.rounds), fmt_int(r.flips),
+               fmt_int(r.leftover_edges), fmt_double(r.max_excess, 1),
+               fmt_ratio(r.max_excess, dbar, 3)});
+  }
+  t.print();
+  std::printf(
+      "reading: phases ~ ln(dbar)/nu; excess normalized by dbar shrinks\n"
+      "with nu until the per-phase drift floor (EXP-B) dominates.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// EXP-K — Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring given an
+// O(Δ²)-coloring.
+//
+// Shape to hold: max defect ≤ εΔ + ⌊Δ/2⌋ on every family/ε point; rounds
+// are dominated by the O(classes/ε²)-round Refine (classes independent of Δ
+// once the precolor defect budget scales with Δ).
+#include <algorithm>
+#include <cstdio>
+
+#include "coloring/defective.hpp"
+#include "coloring/linial.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+using namespace dec;
+
+int main() {
+  std::printf("EXP-K: defective 4-coloring (Lemma 6.2)\n\n");
+
+  Table t("defect vs bound",
+          {"family", "Delta", "eps", "bound", "max_defect", "sweeps",
+           "rounds"});
+  const auto run_case = [&](const char* fam, const Graph& g, double eps) {
+    const LinialResult lin = linial_color(g);
+    const DefectiveResult r =
+        defective_4_coloring(g, lin.colors, lin.palette, eps);
+    const int bound = static_cast<int>(eps * g.max_degree()) + g.max_degree() / 2;
+    t.add_row({fam, fmt_int(g.max_degree()), fmt_double(eps, 2),
+               fmt_int(bound), fmt_int(r.max_defect), fmt_int(r.sweeps),
+               fmt_int(r.rounds)});
+  };
+
+  for (const int d : {16, 32, 64}) {
+    Rng rng(static_cast<std::uint64_t>(d) * 7);
+    const Graph g = gen::random_regular(8 * d, d, rng);
+    for (const double eps : {0.125, 0.25, 0.5}) run_case("regular", g, eps);
+  }
+  {
+    Rng rng(71);
+    run_case("gnp", gen::gnp(400, 0.08, rng), 0.25);
+    run_case("power-law", gen::power_law(400, 2.5, 10.0, rng), 0.25);
+  }
+  t.print();
+
+  Table t2("defect/palette trade-off of the one-round precolor ([11])",
+           {"Delta", "defect_target", "palette", "achieved_defect"});
+  {
+    Rng rng(72);
+    const Graph g = gen::random_regular(512, 32, rng);
+    const LinialResult lin = linial_color(g);
+    for (const int p : {1, 2, 4, 8, 16, 32}) {
+      const DefectiveResult r =
+          defective_precolor(g, lin.colors, lin.palette, p);
+      t2.add_row({fmt_int(32), fmt_int(p), fmt_int(r.palette),
+                  fmt_int(r.max_defect)});
+    }
+  }
+  t2.print();
+  return 0;
+}

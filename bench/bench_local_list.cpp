@@ -1,0 +1,55 @@
+// EXP-E — Theorem D.4 / Theorem 1.1: (degree+1)-list edge coloring in LOCAL.
+//
+// Shape to hold: every instance (full palette = (2Δ−1)-edge coloring, random
+// degree+1 lists, adversarially skewed lists) is colored properly from the
+// lists; outer iterations stay O(log Δ).
+#include <cstdio>
+
+#include "core/local_coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+using namespace dec;
+
+int main() {
+  std::printf(
+      "EXP-E: (degree+1)-list edge coloring in LOCAL (Theorem D.4)\n\n");
+
+  Table t("instances across graph families and list styles",
+          {"family", "lists", "n", "Delta", "C", "valid", "palette_used",
+           "iters", "tail_deg", "rounds"});
+
+  const auto run_case = [&](const char* fam, const char* lists_name,
+                            const Graph& g, const ListEdgeInstance& inst) {
+    const auto r = solve_list_edge_coloring(g, inst);
+    t.add_row({fam, lists_name, fmt_int(g.num_nodes()), fmt_int(g.max_degree()),
+               fmt_int(inst.color_space),
+               fmt_bool(check_list_coloring(inst, r.colors)),
+               fmt_int(count_colors(r.colors)), fmt_int(r.iterations),
+               fmt_int(r.tail_degree), fmt_int(r.rounds)});
+  };
+
+  for (const int d : {8, 16, 32}) {
+    Rng rng(static_cast<std::uint64_t>(d) + 1);
+    const Graph g = gen::random_regular(10 * d, d, rng);
+    run_case("regular", "full(2D-1)", g, make_full_palette_instance(g));
+    run_case("regular", "random d+1", g,
+             make_random_list_instance(g, 3 * g.max_edge_degree(), rng));
+    run_case("regular", "skewed d+1", g,
+             make_skewed_list_instance(g, 4 * g.max_edge_degree(), 0.85, rng));
+  }
+  {
+    Rng rng(55);
+    const Graph g = gen::gnp(400, 0.04, rng);
+    run_case("gnp", "full(2D-1)", g, make_full_palette_instance(g));
+    run_case("gnp", "random d+1", g,
+             make_random_list_instance(g, 3 * g.max_edge_degree(), rng));
+  }
+  {
+    Rng rng(56);
+    const Graph g = gen::power_law(400, 2.6, 8.0, rng);
+    run_case("power-law", "full(2D-1)", g, make_full_palette_instance(g));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the substrate (google-benchmark): graph construction,
+// simulator round overhead, generators, and the hot validation predicates.
+#include <benchmark/benchmark.h>
+
+#include "coloring/linial.hpp"
+#include "graph/generators.hpp"
+#include "graph/line_graph.hpp"
+#include "graph/properties.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace dec;
+
+void BM_GraphConstruction(benchmark::State& state) {
+  Rng rng(1);
+  const Graph src = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  auto edges = src.edge_list();
+  for (auto _ : state) {
+    Graph g(src.num_nodes(), edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * src.num_edges());
+}
+BENCHMARK(BM_GraphConstruction)->Arg(1000)->Arg(10000);
+
+void BM_LineGraph(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    const Graph lg = line_graph(g);
+    benchmark::DoNotOptimize(lg.num_edges());
+  }
+}
+BENCHMARK(BM_LineGraph)->Arg(1000)->Arg(4000);
+
+void BM_NetworkRound(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g);
+  for (auto _ : state) {
+    net.round([](NodeId v, std::span<const Message>, std::span<Message> out) {
+      for (auto& m : out) m = Message{v};
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkRound)->Arg(1000)->Arg(10000);
+
+void BM_ProperEdgeColoringCheck(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  const LinialResult lin = linial_edge_color(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_proper_edge_coloring(g, lin.colors));
+  }
+}
+BENCHMARK(BM_ProperEdgeColoringCheck)->Arg(1000)->Arg(10000);
+
+void BM_LinialEndToEnd(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    const LinialResult r = linial_color(g);
+    benchmark::DoNotOptimize(r.palette);
+  }
+}
+BENCHMARK(BM_LinialEndToEnd)->Arg(1000)->Arg(10000);
+
+void BM_RandomRegularGenerator(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    const Graph g = gen::random_regular(
+        static_cast<NodeId>(state.range(0)), 16, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_RandomRegularGenerator)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Crossbar switch scheduling — the classic edge coloring application.
+//
+// An input-queued switch with N input ports and N output ports holds a
+// demand matrix: cell (i, j) > 0 means "input i has traffic for output j".
+// In one time slot each input can talk to at most one output and vice versa,
+// so a conflict-free slot is a matching — and a full schedule is an edge
+// coloring of the bipartite demand graph, one color class per slot.
+//
+// König's theorem says Δ slots suffice offline; the distributed algorithms
+// here trade a few extra slots for *local* computation: each port decides
+// its own schedule from nearby information only, which is how one would
+// schedule a geographically distributed interconnect.
+#include <cstdio>
+#include <vector>
+
+#include "coloring/baselines.hpp"
+#include "core/bipartite_coloring.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dec;
+  const NodeId ports = 64;
+  Rng rng(7);
+
+  // Random demand: each input wants ~16 distinct outputs.
+  const auto bg = gen::random_bipartite(ports, ports, 16.0 / ports, rng);
+  const Graph& g = bg.graph;
+  std::printf("switch: %d x %d ports, %d demand cells, max port fan = %d\n\n",
+              ports, ports, g.num_edges(), g.max_degree());
+
+  // Distributed schedule via the paper's bipartite algorithm (Lemma 6.1).
+  const auto ours = bipartite_edge_coloring(g, bg.parts, /*eps=*/1.0);
+  // Greedy baseline.
+  const auto base = edge_color_fast_2delta(g);
+
+  // Slots actually used = distinct colors.
+  std::printf("offline optimum (Koenig)      : %d slots\n", g.max_degree());
+  std::printf("paper (Lemma 6.1)             : %d slots, %lld rounds\n",
+              count_colors(ours.colors), static_cast<long long>(ours.rounds));
+  std::printf("baseline O(Delta + log* n)    : %d slots, %lld rounds\n\n",
+              count_colors(base.colors), static_cast<long long>(base.rounds));
+
+  // Render the first few slots of the schedule.
+  std::printf("first 3 slots of the distributed schedule (input->output):\n");
+  for (Color slot = 0; slot < 3; ++slot) {
+    std::printf("  slot %d:", slot);
+    int shown = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (ours.colors[static_cast<std::size_t>(e)] != slot) continue;
+      const auto [u, v] = g.endpoints(e);
+      std::printf(" %d->%d", u, v - ports);
+      if (++shown == 10) {
+        std::printf(" ...");
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+
+  const bool ok = is_complete_proper_edge_coloring(g, ours.colors);
+  std::printf("\nschedule conflict-free: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

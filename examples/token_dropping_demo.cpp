@@ -1,0 +1,49 @@
+// The generalized token dropping game as a load balancer (the framing of
+// [14], which §4 generalizes).
+//
+// Jobs (tokens) arrive concentrated on a few front-end servers (top layer of
+// a layered service graph). Each server can hold at most k jobs, and a job
+// may migrate across a link at most once. The game's guarantee (Theorem 4.3)
+// bounds how uneven two linked servers can end up; δ trades migration rounds
+// against that residual imbalance.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/token_dropping.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dec;
+  Rng rng(11);
+  const int layers = 5, width = 32, k = 256;
+  const Digraph g = layered_game(layers, width, 5, rng);
+
+  // All jobs start on the top layer, saturated.
+  std::vector<int> jobs(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (int i = 0; i < width; ++i) {
+    jobs[static_cast<std::size_t>((layers - 1) * width + i)] = k;
+  }
+  std::printf("cluster: %d servers in %d tiers, capacity %d jobs each\n",
+              g.num_nodes(), layers, k);
+  std::printf("initial: top tier saturated (%d jobs total)\n\n", width * k);
+
+  std::printf("%8s %8s %10s %12s %12s\n", "delta", "rounds", "migrated",
+              "max_load", "load_p95");
+  for (const int delta : {1, 4, 16, 64}) {
+    TokenDroppingParams p;
+    p.k = k;
+    p.delta = delta;
+    p.alpha.assign(static_cast<std::size_t>(g.num_nodes()), 2 * delta);
+    const auto r = run_token_dropping(g, jobs, p);
+    std::vector<double> loads(r.tokens.begin(), r.tokens.end());
+    const Summary s = summarize(loads);
+    std::printf("%8d %8lld %10lld %12.0f %12.1f\n", delta,
+                static_cast<long long>(r.rounds),
+                static_cast<long long>(r.tokens_moved), s.max, s.p95);
+  }
+  std::printf(
+      "\nreading: small delta spends more rounds and spreads load further;\n"
+      "large delta converges fast but tolerates more imbalance — exactly\n"
+      "the trade-off the paper's Theorem 4.3 quantifies.\n");
+  return 0;
+}

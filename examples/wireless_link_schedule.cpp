@@ -1,0 +1,50 @@
+// TDMA link scheduling with per-link forbidden slots — the (degree+1)-list
+// edge coloring API on a realistic constraint pattern.
+//
+// Radios on a grid network must assign each link a time slot such that no
+// two links sharing a radio use the same slot (primary interference). Some
+// slots are locally unavailable per link (regulatory blackouts, coexistence
+// with other networks), which is exactly a *list* constraint: each link gets
+// an admissible-slot list of size degree+1, and Theorem 1.1's algorithm
+// finds a valid assignment with purely local coordination.
+#include <cstdio>
+
+#include "core/local_coloring.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dec;
+  Rng rng(42);
+
+  // 12x12 grid of radios; links = grid edges.
+  const Graph g = gen::grid(12, 12);
+  std::printf("network: %d radios, %d links, max radio degree %d\n",
+              g.num_nodes(), g.num_edges(), g.max_degree());
+
+  // Slot universe: 4x the minimum; each link draws a random admissible list
+  // of size degree+1 (its local blackout pattern).
+  const int slots = 4 * g.max_edge_degree();
+  const ListEdgeInstance inst = make_random_list_instance(g, slots, rng);
+  std::printf("slot universe: %d, per-link admissible slots: degree+1\n\n",
+              slots);
+
+  RoundLedger ledger;
+  const auto r =
+      solve_list_edge_coloring(g, inst, ParamMode::kPractical, &ledger);
+
+  std::printf("schedule found: %s\n",
+              check_list_coloring(inst, r.colors) ? "yes" : "NO");
+  std::printf("distinct slots used: %d\n", count_colors(r.colors));
+  std::printf("rounds: %lld\n", static_cast<long long>(r.rounds));
+  std::printf("\nround breakdown:\n%s", ledger.report().c_str());
+
+  // Per-radio view for one radio in the middle of the grid.
+  const NodeId radio = 6 * 12 + 6;
+  std::printf("slots at radio %d:", radio);
+  for (const Incidence& inc : g.neighbors(radio)) {
+    std::printf(" link->%d: slot %d;", inc.neighbor,
+                r.colors[static_cast<std::size_t>(inc.edge)]);
+  }
+  std::printf("\n");
+  return check_list_coloring(inst, r.colors) ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Baseline distributed edge coloring algorithms the paper compares against.
+//
+// * `edge_color_fast_2delta` — the O(Δ + log* n)-round (2Δ−1)-edge coloring
+//   in the spirit of Panconesi–Rizzi [44] / Barenboim–Elkin–Goldenberg [10]:
+//   Linial on the line graph (O(Δ̄²) colors, O(log* m) rounds), the
+//   arithmetic-progression reduction to O(Δ̄) colors in O(Δ̄) rounds, then
+//   greedy reduction to Δ̄+1 = 2Δ−1 colors. This is the "linear in Δ"
+//   baseline of EXP-F.
+//
+// * `edge_color_greedy_quadratic` — Linial on the line graph followed by the
+//   one-class-per-round greedy: O(Δ̄² + log* n) rounds, the "quadratic in Δ"
+//   straw man from the introduction's O(Δ²)-classes greedy.
+//
+// * `edge_color_luby` — the classic randomized O(log n)-round algorithm
+//   (each uncolored edge proposes a uniformly random free color; proposals
+//   without conflict are committed).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "sim/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace dec {
+
+struct EdgeColoringResult {
+  std::vector<Color> colors;
+  int palette = 0;
+  std::int64_t rounds = 0;
+};
+
+/// (2Δ−1)-edge coloring in O(Δ + log* n) rounds.
+EdgeColoringResult edge_color_fast_2delta(const Graph& g,
+                                          RoundLedger* ledger = nullptr);
+
+/// (2Δ−1)-edge coloring in O(Δ̄² + log* n) rounds.
+EdgeColoringResult edge_color_greedy_quadratic(const Graph& g,
+                                               RoundLedger* ledger = nullptr);
+
+/// Randomized (2Δ−1)-edge coloring, O(log m) rounds w.h.p.
+EdgeColoringResult edge_color_luby(const Graph& g, Rng& rng,
+                                   RoundLedger* ledger = nullptr);
+
+}  // namespace dec

@@ -1,0 +1,152 @@
+#include "coloring/color_reduction.hpp"
+
+#include <algorithm>
+
+#include "coloring/linial.hpp"
+#include "util/prime.hpp"
+
+namespace dec {
+
+ReductionResult ap_reduce(const Graph& g, const std::vector<Color>& input,
+                          std::int64_t q, RoundLedger* ledger) {
+  DEC_REQUIRE(is_prime(static_cast<std::uint64_t>(q)), "q must be prime");
+  DEC_REQUIRE(q >= 2 * g.max_degree() + 2, "ap_reduce needs q >= 2Δ+2");
+  DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
+  const NodeId n = g.num_nodes();
+  DEC_REQUIRE(input.size() == static_cast<std::size_t>(n),
+              "input coloring has wrong length");
+  for (const Color c : input) {
+    DEC_REQUIRE(c >= 0 && static_cast<std::int64_t>(c) < q * q,
+                "input palette exceeds q^2");
+  }
+
+  ReductionResult res;
+  res.palette = static_cast<int>(q);
+
+  std::vector<std::int64_t> line_a(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> line_b(static_cast<std::size_t>(n));
+  std::vector<Color> final_color(static_cast<std::size_t>(n), kUncolored);
+  for (NodeId v = 0; v < n; ++v) {
+    line_a[static_cast<std::size_t>(v)] = input[static_cast<std::size_t>(v)] / q;
+    line_b[static_cast<std::size_t>(v)] = input[static_cast<std::size_t>(v)] % q;
+    if (line_a[static_cast<std::size_t>(v)] == 0) {
+      // Constant lines are settled from the start; adjacent constant lines
+      // have distinct b because the input is proper.
+      final_color[static_cast<std::size_t>(v)] =
+          static_cast<Color>(line_b[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  for (std::int64_t t = 0; t < q; ++t) {
+    // Snapshot of the settled state at the start of the round (what
+    // neighbors announced last round).
+    const std::vector<Color> settled_snapshot = final_color;
+    std::vector<Color> settling(static_cast<std::size_t>(n), kUncolored);
+    for (NodeId v = 0; v < n; ++v) {
+      if (settled_snapshot[static_cast<std::size_t>(v)] != kUncolored) continue;
+      const std::int64_t cand = (line_b[static_cast<std::size_t>(v)] +
+                                 line_a[static_cast<std::size_t>(v)] * t) % q;
+      bool blocked = false;
+      for (const Incidence& inc : g.neighbors(v)) {
+        const std::size_t u = static_cast<std::size_t>(inc.neighbor);
+        if (settled_snapshot[u] != kUncolored) {
+          if (settled_snapshot[u] == static_cast<Color>(cand)) {
+            blocked = true;
+            break;
+          }
+        } else {
+          const std::int64_t u_cand = (line_b[u] + line_a[u] * t) % q;
+          if (u_cand == cand) {  // symmetric deferral
+            blocked = true;
+            break;
+          }
+        }
+      }
+      if (!blocked) settling[static_cast<std::size_t>(v)] = static_cast<Color>(cand);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (settling[static_cast<std::size_t>(v)] != kUncolored) {
+        final_color[static_cast<std::size_t>(v)] =
+            settling[static_cast<std::size_t>(v)];
+      }
+    }
+    ++res.rounds;
+    if (ledger != nullptr) ledger->charge("ap_reduce", 1);
+    if (std::none_of(final_color.begin(), final_color.end(),
+                     [](Color c) { return c == kUncolored; })) {
+      break;
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    DEC_CHECK(final_color[static_cast<std::size_t>(v)] != kUncolored,
+              "ap_reduce failed to settle within q rounds");
+  }
+  res.colors = std::move(final_color);
+  DEC_CHECK(is_proper_vertex_coloring(g, res.colors),
+            "ap_reduce produced an improper coloring");
+  return res;
+}
+
+ReductionResult greedy_reduce(const Graph& g, const std::vector<Color>& input,
+                              int input_palette, int target,
+                              RoundLedger* ledger) {
+  DEC_REQUIRE(target >= g.max_degree() + 1,
+              "greedy reduction needs target >= Δ+1");
+  DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
+  for (const Color c : input) {
+    DEC_REQUIRE(c >= 0 && c < input_palette, "input palette bound violated");
+  }
+  ReductionResult res;
+  res.colors = input;
+  res.palette = std::min(input_palette, target);
+
+  std::vector<bool> used(static_cast<std::size_t>(target), false);
+  for (int c = input_palette - 1; c >= target; --c) {
+    // All nodes of color c re-pick simultaneously; they are pairwise
+    // non-adjacent because the coloring stays proper throughout.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (res.colors[static_cast<std::size_t>(v)] != c) continue;
+      std::fill(used.begin(), used.end(), false);
+      for (const Incidence& inc : g.neighbors(v)) {
+        const Color nc = res.colors[static_cast<std::size_t>(inc.neighbor)];
+        if (nc >= 0 && nc < target) used[static_cast<std::size_t>(nc)] = true;
+      }
+      Color pick = kUncolored;
+      for (int cand = 0; cand < target; ++cand) {
+        if (!used[static_cast<std::size_t>(cand)]) {
+          pick = cand;
+          break;
+        }
+      }
+      DEC_CHECK(pick != kUncolored,
+                "greedy reduction found no free color (target < Δ+1?)");
+      res.colors[static_cast<std::size_t>(v)] = pick;
+    }
+    ++res.rounds;
+    if (ledger != nullptr) ledger->charge("greedy_reduce", 1);
+  }
+  DEC_CHECK(is_proper_vertex_coloring(g, res.colors),
+            "greedy reduction produced an improper coloring");
+  return res;
+}
+
+ReductionResult vertex_color_delta_plus_one(const Graph& g,
+                                            RoundLedger* ledger) {
+  const LinialResult lin = linial_color(g, ledger);
+  if (g.max_degree() == 0) {
+    return ReductionResult{lin.colors, lin.palette, lin.rounds};
+  }
+  const std::int64_t q = static_cast<std::int64_t>(
+      next_prime(static_cast<std::uint64_t>(2 * g.max_degree() + 2)));
+  // Linial's palette is q_lin² with q_lin = smallest prime > Δ, so it fits
+  // under q² for our larger q.
+  DEC_CHECK(lin.palette <= q * q, "Linial palette does not fit ap_reduce");
+  ReductionResult ap = ap_reduce(g, lin.colors, q, ledger);
+  ReductionResult out =
+      greedy_reduce(g, ap.colors, ap.palette, g.max_degree() + 1, ledger);
+  out.rounds += lin.rounds + ap.rounds;
+  return out;
+}
+
+}  // namespace dec

@@ -1,0 +1,67 @@
+#include "coloring/greedy_edge.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+std::int64_t greedy_list_edge_color(const ListEdgeInstance& inst,
+                                    const std::vector<Color>& schedule,
+                                    int schedule_palette,
+                                    std::vector<Color>& colors,
+                                    const std::vector<bool>* active,
+                                    RoundLedger* ledger) {
+  const Graph& g = *inst.g;
+  DEC_REQUIRE(schedule.size() == static_cast<std::size_t>(g.num_edges()),
+              "schedule has wrong length");
+  DEC_REQUIRE(colors.size() == static_cast<std::size_t>(g.num_edges()),
+              "color vector has wrong length");
+  DEC_REQUIRE(is_proper_edge_coloring(g, schedule),
+              "schedule must be a proper edge coloring");
+
+  // Bucket participating uncolored edges by schedule class.
+  std::vector<std::vector<EdgeId>> buckets(
+      static_cast<std::size_t>(schedule_palette));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (colors[static_cast<std::size_t>(e)] != kUncolored) continue;
+    if (active != nullptr && !(*active)[static_cast<std::size_t>(e)]) continue;
+    const Color s = schedule[static_cast<std::size_t>(e)];
+    DEC_REQUIRE(s >= 0 && s < schedule_palette, "schedule color out of range");
+    buckets[static_cast<std::size_t>(s)].push_back(e);
+  }
+
+  std::int64_t rounds = 0;
+  std::vector<Color> blocked;  // scratch
+  for (int cls = 0; cls < schedule_palette; ++cls) {
+    const auto& bucket = buckets[static_cast<std::size_t>(cls)];
+    if (bucket.empty()) continue;
+    // Edges of one class are pairwise non-adjacent, so coloring them in any
+    // order within the round is race-free.
+    for (const EdgeId e : bucket) {
+      blocked.clear();
+      const auto [u, v] = g.endpoints(e);
+      for (const NodeId w : {u, v}) {
+        for (const Incidence& inc : g.neighbors(w)) {
+          const Color c = colors[static_cast<std::size_t>(inc.edge)];
+          if (c != kUncolored) blocked.push_back(c);
+        }
+      }
+      std::sort(blocked.begin(), blocked.end());
+      Color pick = kUncolored;
+      for (const Color cand : inst.list(e)) {
+        if (!std::binary_search(blocked.begin(), blocked.end(), cand)) {
+          pick = cand;
+          break;
+        }
+      }
+      DEC_CHECK(pick != kUncolored,
+                "greedy list coloring ran out of colors "
+                "(list smaller than uncolored degree + 1?)");
+      colors[static_cast<std::size_t>(e)] = pick;
+    }
+    ++rounds;
+    if (ledger != nullptr) ledger->charge("greedy_list_edge", 1);
+  }
+  return rounds;
+}
+
+}  // namespace dec

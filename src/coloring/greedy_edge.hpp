@@ -1,0 +1,41 @@
+// Greedy list edge coloring driven by a schedule coloring.
+//
+// The classic "iterate through the color classes of a precomputed coloring"
+// greedy: the schedule is a proper edge coloring of G (so each class is a
+// matching in the line graph); classes are processed one per round, and every
+// scheduled uncolored edge picks the smallest color of its list not used by
+// an adjacent colored edge. With (uncolored degree + 1)-size remaining lists
+// a free color always exists, so a single pass colors everything.
+//
+// This is the workhorse finishing step the paper invokes for low-degree
+// leftover graphs (Lemma 6.1's final phase, Lemma D.2's items 3/4, Theorem
+// D.4's tail).
+#pragma once
+
+#include <vector>
+
+#include "coloring/list_instance.hpp"
+#include "graph/graph.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+/// Color every uncolored edge (colors[e] == kUncolored) of `inst` using the
+/// schedule classes 0..schedule_palette-1 in order, one round per non-empty
+/// class. Already-colored edges are respected (their colors block neighbors
+/// but are never changed). Only edges with active[e] == true participate
+/// (pass nullptr for "all").
+///
+/// Requires: for every participating edge, |remaining list| >= (number of
+/// participating adjacent uncolored edges) + 1 at its turn; with degree+1
+/// lists this always holds. Throws if an edge finds no free color.
+///
+/// Returns rounds charged (number of schedule classes visited).
+std::int64_t greedy_list_edge_color(const ListEdgeInstance& inst,
+                                    const std::vector<Color>& schedule,
+                                    int schedule_palette,
+                                    std::vector<Color>& colors,
+                                    const std::vector<bool>* active = nullptr,
+                                    RoundLedger* ledger = nullptr);
+
+}  // namespace dec

@@ -1,0 +1,129 @@
+#include "coloring/list_instance.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+void validate_lists(const ListEdgeInstance& inst) {
+  DEC_REQUIRE(inst.g != nullptr, "instance has no graph");
+  const Graph& g = *inst.g;
+  DEC_REQUIRE(inst.lists.size() == static_cast<std::size_t>(g.num_edges()),
+              "list vector has wrong length");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& l = inst.list(e);
+    DEC_REQUIRE(std::is_sorted(l.begin(), l.end()), "list must be sorted");
+    DEC_REQUIRE(std::adjacent_find(l.begin(), l.end()) == l.end(),
+                "list must be duplicate-free");
+    for (const Color c : l) {
+      DEC_REQUIRE(c >= 0 && c < inst.color_space, "list color out of space");
+    }
+  }
+}
+
+void validate_degree_plus_one(const ListEdgeInstance& inst) {
+  validate_lists(inst);
+  const Graph& g = *inst.g;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    DEC_REQUIRE(static_cast<int>(inst.list(e).size()) >= g.edge_degree(e) + 1,
+                "degree+1 list requirement violated");
+  }
+}
+
+double min_slack(const ListEdgeInstance& inst) {
+  const Graph& g = *inst.g;
+  double best = 1e300;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double deg = std::max(1, g.edge_degree(e));
+    best = std::min(best, static_cast<double>(inst.list(e).size()) / deg);
+  }
+  return g.num_edges() == 0 ? 0.0 : best;
+}
+
+ListEdgeInstance make_full_palette_instance(const Graph& g, int k) {
+  if (k == 0) k = std::max(1, g.max_edge_degree() + 1);
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = k;
+  std::vector<Color> full(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) full[static_cast<std::size_t>(c)] = c;
+  inst.lists.assign(static_cast<std::size_t>(g.num_edges()), full);
+  return inst;
+}
+
+namespace {
+
+std::vector<Color> sample_subset(int space, int size, Rng& rng) {
+  DEC_REQUIRE(size <= space, "cannot sample more colors than the space has");
+  // Floyd's algorithm would also work; for the sizes involved a shuffle of
+  // the space prefix is simpler and still O(space).
+  std::vector<Color> all(static_cast<std::size_t>(space));
+  for (int c = 0; c < space; ++c) all[static_cast<std::size_t>(c)] = c;
+  rng.shuffle(all);
+  all.resize(static_cast<std::size_t>(size));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+ListEdgeInstance make_random_list_instance(const Graph& g, int color_space,
+                                           Rng& rng) {
+  DEC_REQUIRE(color_space > g.max_edge_degree(),
+              "color space must exceed Δ̄ for degree+1 lists");
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = color_space;
+  inst.lists.resize(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    inst.lists[static_cast<std::size_t>(e)] =
+        sample_subset(color_space, g.edge_degree(e) + 1, rng);
+  }
+  return inst;
+}
+
+ListEdgeInstance make_skewed_list_instance(const Graph& g, int color_space,
+                                           double bias, Rng& rng) {
+  DEC_REQUIRE(color_space > g.max_edge_degree(),
+              "color space must exceed Δ̄ for degree+1 lists");
+  DEC_REQUIRE(bias >= 0.0 && bias <= 1.0, "bias must be in [0, 1]");
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = color_space;
+  inst.lists.resize(static_cast<std::size_t>(g.num_edges()));
+  const int half = color_space / 2;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int need = g.edge_degree(e) + 1;
+    std::vector<Color> list;
+    std::vector<bool> taken(static_cast<std::size_t>(color_space), false);
+    while (static_cast<int>(list.size()) < need) {
+      const bool low = rng.next_bool(bias) && half > 0;
+      const int base = low ? 0 : half;
+      const int span = low ? half : color_space - half;
+      const Color c =
+          base + static_cast<Color>(rng.next_below(static_cast<std::uint64_t>(span)));
+      if (!taken[static_cast<std::size_t>(c)]) {
+        taken[static_cast<std::size_t>(c)] = true;
+        list.push_back(c);
+      }
+    }
+    std::sort(list.begin(), list.end());
+    inst.lists[static_cast<std::size_t>(e)] = std::move(list);
+  }
+  return inst;
+}
+
+bool check_list_coloring(const ListEdgeInstance& inst,
+                         const std::vector<Color>& colors) {
+  const Graph& g = *inst.g;
+  if (!is_complete_proper_edge_coloring(g, colors)) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& l = inst.list(e);
+    if (!std::binary_search(l.begin(), l.end(),
+                            colors[static_cast<std::size_t>(e)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dec

@@ -1,0 +1,60 @@
+// List edge coloring instances (paper §2, "List Edge Coloring").
+//
+// An instance carries, for every edge, a sorted list of admissible colors
+// from a global color space {0, ..., color_space-1}. The (degree+1)-list
+// problem requires |L_e| >= deg(e)+1; the plain K-edge-coloring problem is
+// the special case L_e = {0..K-1}. Slack (|L_e| / deg(e), paper §2 "Relaxed
+// List Edge Coloring") is the quantity the recursive solver of Appendix D
+// tracks, so helpers to measure it live here too.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace dec {
+
+struct ListEdgeInstance {
+  const Graph* g = nullptr;
+  int color_space = 0;                    // colors are in [0, color_space)
+  std::vector<std::vector<Color>> lists;  // per edge id, sorted ascending
+
+  const std::vector<Color>& list(EdgeId e) const {
+    return lists[static_cast<std::size_t>(e)];
+  }
+};
+
+/// Throws unless lists are sorted, duplicate-free, in range, and every edge
+/// has |L_e| >= deg(e) + 1.
+void validate_degree_plus_one(const ListEdgeInstance& inst);
+
+/// Throws unless lists are sorted, duplicate-free and in range (no size
+/// requirement). Shared precondition of the solvers.
+void validate_lists(const ListEdgeInstance& inst);
+
+/// Minimum slack min_e |L_e| / max(1, deg(e)). Edges of degree 0 contribute
+/// |L_e| directly.
+double min_slack(const ListEdgeInstance& inst);
+
+/// L_e = {0..K-1} for all edges. K defaults to 2Δ-1 (i.e. Δ̄+1) when 0.
+ListEdgeInstance make_full_palette_instance(const Graph& g, int k = 0);
+
+/// Random (degree+1)-list instance: each edge gets a uniform random subset of
+/// size exactly deg(e)+1 from [0, color_space). Requires color_space > Δ̄.
+ListEdgeInstance make_random_list_instance(const Graph& g, int color_space,
+                                           Rng& rng);
+
+/// Adversarially skewed (degree+1)-list instance: each edge's list is drawn
+/// with probability `bias` from the lower half of the color space, making the
+/// λ_e fractions of the recursive splits extreme.
+ListEdgeInstance make_skewed_list_instance(const Graph& g, int color_space,
+                                           double bias, Rng& rng);
+
+/// True iff `colors` is a complete proper edge coloring and every edge's
+/// color belongs to its list.
+bool check_list_coloring(const ListEdgeInstance& inst,
+                         const std::vector<Color>& colors);
+
+}  // namespace dec

@@ -1,0 +1,221 @@
+#include "core/balanced_orientation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/token_dropping.hpp"
+
+namespace dec {
+
+namespace {
+
+/// Unoriented-neighbor count of an unoriented edge e = {u, v}:
+/// (unoriented degree of u − 1) + (unoriented degree of v − 1).
+int unoriented_edge_degree(const Graph& g, const std::vector<int>& ud,
+                           EdgeId e) {
+  const auto [u, v] = g.endpoints(e);
+  return ud[static_cast<std::size_t>(u)] + ud[static_cast<std::size_t>(v)] - 2;
+}
+
+}  // namespace
+
+BalancedOrientationResult balanced_orientation(const Graph& g,
+                                               const Bipartition& parts,
+                                               const std::vector<double>& eta,
+                                               const OrientationParams& params,
+                                               RoundLedger* ledger) {
+  validate_bipartition(g, parts);
+  DEC_REQUIRE(eta.size() == static_cast<std::size_t>(g.num_edges()),
+              "eta has wrong length");
+  const double nu = params.nu;
+  DEC_REQUIRE(nu > 0.0 && nu <= 0.125, "Eq. (4) requires 0 < nu <= 1/8");
+
+  const NodeId n = g.num_nodes();
+  const double dbar = std::max(1, 2 * g.max_degree() - 2);
+  const double dbar_log = std::log(std::max(2.0, dbar));
+
+  BalancedOrientationResult res{Orientation(g)};
+  Orientation& orient = res.orientation;
+
+  // Unoriented degree per node (for d(e, φ)).
+  std::vector<int> ud(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) ud[static_cast<std::size_t>(v)] = g.degree(v);
+
+  // Phase in which each edge was oriented (-1 = unoriented): distinguishes
+  // F_φ (this phase) from F_{<φ} (earlier phases) in steps 5–6.
+  std::vector<std::int64_t> oriented_in_phase(
+      static_cast<std::size_t>(g.num_edges()), -1);
+
+  // d⁻_φ(v) of Eq. (5): min over edges of F_{<φ} incident to v of deg_G(e).
+  std::vector<std::int64_t> d_minus(
+      static_cast<std::size_t>(n), std::numeric_limits<std::int64_t>::max());
+
+  const std::int64_t max_phases =
+      params.max_phases > 0
+          ? params.max_phases
+          : static_cast<std::int64_t>(std::ceil(std::log(dbar + 1.0) / nu)) + 8;
+
+  for (std::int64_t phi = 1; phi <= max_phases; ++phi) {
+    if (orient.num_oriented() == g.num_edges()) break;
+    const double threshold =
+        std::pow(1.0 - nu, static_cast<double>(phi)) * dbar;
+    if (threshold < 1.0) break;  // remaining edges go to the leftover pass
+
+    // x(φ−1) snapshot: steps 2 and 5 both read end-of-previous-phase values.
+    std::vector<int> x_prev(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      x_prev[static_cast<std::size_t>(v)] = orient.indegree(v);
+    }
+
+    // Steps 1–2: eligible unoriented edges (E_φ) propose to one endpoint.
+    std::vector<std::vector<EdgeId>> proposals(static_cast<std::size_t>(n));
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (orient.oriented(e)) continue;
+      if (unoriented_edge_degree(g, ud, e) <= threshold) continue;
+      const NodeId u = u_endpoint(g, parts, e);
+      const NodeId v = v_endpoint(g, parts, e);
+      const double diff = x_prev[static_cast<std::size_t>(v)] -
+                          x_prev[static_cast<std::size_t>(u)];
+      const NodeId target =
+          diff <= eta[static_cast<std::size_t>(e)] ? v : u;
+      proposals[static_cast<std::size_t>(target)].push_back(e);
+    }
+
+    // Steps 3–4: each node accepts at most k_φ proposals (the paper allows
+    // an arbitrary subset; we take lowest edge ids for determinism).
+    const std::int64_t kphi = k_phi(nu, dbar, phi);
+    std::vector<int> accepted_count(static_cast<std::size_t>(n), 0);
+    for (NodeId w = 0; w < n; ++w) {
+      auto& props = proposals[static_cast<std::size_t>(w)];
+      if (props.empty()) continue;
+      std::sort(props.begin(), props.end());
+      const std::size_t take =
+          std::min<std::size_t>(props.size(), static_cast<std::size_t>(kphi));
+      for (std::size_t i = 0; i < take; ++i) {
+        const EdgeId e = props[i];
+        const auto [a, b] = g.endpoints(e);
+        orient.orient_towards(e, w);
+        oriented_in_phase[static_cast<std::size_t>(e)] = phi;
+        --ud[static_cast<std::size_t>(a)];
+        --ud[static_cast<std::size_t>(b)];
+      }
+      accepted_count[static_cast<std::size_t>(w)] = static_cast<int>(take);
+    }
+    res.rounds += 2;
+    if (ledger != nullptr) ledger->charge("orientation_phases", 2);
+
+    // Step 5: F'_{<φ} — previously oriented edges violating their η_e
+    // inequality at the x(φ−1) snapshot. Arcs point *against* the current
+    // orientation (step 6).
+    std::vector<std::pair<NodeId, NodeId>> arcs;
+    std::vector<EdgeId> arc_to_edge;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const std::int64_t ph = oriented_in_phase[static_cast<std::size_t>(e)];
+      if (ph < 0 || ph >= phi) continue;  // unoriented or in F_φ
+      const NodeId u = u_endpoint(g, parts, e);
+      const NodeId v = v_endpoint(g, parts, e);
+      const double diff_vu = x_prev[static_cast<std::size_t>(v)] -
+                             x_prev[static_cast<std::size_t>(u)];
+      bool violating = false;
+      if (orient.head(e) == v) {
+        violating = diff_vu > eta[static_cast<std::size_t>(e)];
+      } else {
+        violating = -diff_vu > -eta[static_cast<std::size_t>(e)];
+      }
+      if (!violating) continue;
+      // Current orientation tail→head; game arc head→tail.
+      arcs.emplace_back(orient.head(e), orient.tail(e));
+      arc_to_edge.push_back(e);
+    }
+
+    // Step 6: run the generalized token dropping game on (V, F'_{<φ}).
+    if (!arcs.empty()) {
+      const Digraph game(n, std::move(arcs));
+      TokenDroppingParams tp;
+      tp.k = static_cast<int>(kphi);
+      tp.delta =
+          static_cast<int>(delta_phi(nu, dbar, dbar_log, phi, params.mode));
+      tp.alpha.resize(static_cast<std::size_t>(n));
+      for (NodeId v = 0; v < n; ++v) {
+        // Nodes without F_{<φ} edges cannot appear in the game; give them a
+        // harmless α = δ.
+        const std::int64_t dm =
+            d_minus[static_cast<std::size_t>(v)] ==
+                    std::numeric_limits<std::int64_t>::max()
+                ? 0
+                : d_minus[static_cast<std::size_t>(v)];
+        const double a = alpha_of(nu, dbar_log, dm, params.mode);
+        tp.alpha[static_cast<std::size_t>(v)] = std::max(
+            tp.delta, static_cast<int>(std::ceil(a)));
+      }
+      std::vector<int> tokens(static_cast<std::size_t>(n));
+      for (NodeId v = 0; v < n; ++v) {
+        tokens[static_cast<std::size_t>(v)] =
+            std::min<int>(accepted_count[static_cast<std::size_t>(v)], tp.k);
+      }
+      TokenDroppingResult game_res =
+          run_token_dropping(game, std::move(tokens), tp, ledger);
+      res.rounds += game_res.rounds;
+      // Step 7: flip every edge over which a token moved.
+      for (EdgeId a = 0; a < game.num_arcs(); ++a) {
+        if (!game_res.edge_passive[static_cast<std::size_t>(a)]) continue;
+        orient.flip(arc_to_edge[static_cast<std::size_t>(a)]);
+        ++res.flips;
+      }
+    }
+
+    // End of phase: F_φ joins F_{<φ+1}; update d⁻ accordingly.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (oriented_in_phase[static_cast<std::size_t>(e)] != phi) continue;
+      const auto [a, b] = g.endpoints(e);
+      const std::int64_t dge = g.edge_degree(e);
+      for (const NodeId w : {a, b}) {
+        d_minus[static_cast<std::size_t>(w)] =
+            std::min(d_minus[static_cast<std::size_t>(w)], dge);
+      }
+    }
+    ++res.phases;
+  }
+
+  // Leftover pass: by Lemma 5.4 the unoriented remainder is (near) a
+  // matching; orient each edge toward its smaller-id endpoint.
+  res.leftover_edges = g.num_edges() - orient.num_oriented();
+  if (res.leftover_edges > 0) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (orient.oriented(e)) continue;
+      const auto [a, b] = g.endpoints(e);
+      orient.orient_towards(e, std::min(a, b));
+    }
+    res.rounds += 1;
+    if (ledger != nullptr) ledger->charge("orientation_leftover", 1);
+  }
+
+  orient.validate();
+  res.max_excess = orientation_max_excess(g, parts, eta, orient,
+                                          eps_from_nu(nu));
+  return res;
+}
+
+double orientation_max_excess(const Graph& g, const Bipartition& parts,
+                              const std::vector<double>& eta,
+                              const Orientation& orientation, double eps) {
+  double worst = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = u_endpoint(g, parts, e);
+    const NodeId v = v_endpoint(g, parts, e);
+    const double xu = orientation.indegree(u);
+    const double xv = orientation.indegree(v);
+    const double half_eps_term = (eps / 2.0) * g.edge_degree(e);
+    double excess = 0.0;
+    if (orientation.head(e) == v) {
+      excess = (xv - xu) - eta[static_cast<std::size_t>(e)] - half_eps_term;
+    } else {
+      excess = (xu - xv) + eta[static_cast<std::size_t>(e)] - half_eps_term;
+    }
+    worst = std::max(worst, excess);
+  }
+  return worst;
+}
+
+}  // namespace dec

@@ -1,0 +1,57 @@
+// Generalized (ε, β)-balanced edge orientation (paper §5, Definition 5.2,
+// Lemma 5.5, Theorem 5.6).
+//
+// Given a 2-colored bipartite graph and per-edge thresholds η_e, orient every
+// edge so that (with x_w = number of edges oriented towards w) every edge
+// e = {u, v} (u ∈ U, v ∈ V) satisfies
+//   oriented u→v:  x_v − x_u ≤ η_e + (1+ε)/2·deg(e) + β,
+//   oriented v→u:  x_u − x_v ≤ −η_e + (1+ε)/2·deg(e) + β.
+//
+// Algorithm (one phase φ = 1, 2, ... O(log Δ̄ / ν)):
+//  1. still-unoriented edges with enough unoriented neighbors (d(e) >
+//     (1−ν)^φ Δ̄) propose an orientation toward the endpoint that currently
+//     "wants" them per η_e;
+//  2. every node accepts at most k_φ proposals — accepted edges get oriented;
+//  3. previously oriented edges that now violate their η_e inequality form
+//     the token dropping game graph (arcs reversed against the orientation);
+//     the accepted-proposal counts are the initial tokens; the α_v(φ), δ_φ of
+//     Eqs. (5)/(6) control the game; every token that crosses an edge flips
+//     that edge's orientation.
+// After the phase budget, leftover unoriented edges (each node has O(1) of
+// them) are oriented toward their smaller-id endpoint.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/orientation.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+struct BalancedOrientationResult {
+  Orientation orientation;      // every edge oriented
+  std::int64_t phases = 0;
+  std::int64_t rounds = 0;      // includes embedded token dropping rounds
+  std::int64_t flips = 0;       // orientation flips performed by token games
+  std::int64_t leftover_edges = 0;  // oriented arbitrarily at the end
+  double max_excess = 0.0;      // max over edges of (imbalance − η side) −
+                                // (ε/2)·deg(e); the empirical β of this run
+};
+
+/// Compute a balanced orientation w.r.t. `eta` (size m). ε = 8ν.
+BalancedOrientationResult balanced_orientation(const Graph& g,
+                                               const Bipartition& parts,
+                                               const std::vector<double>& eta,
+                                               const OrientationParams& params,
+                                               RoundLedger* ledger = nullptr);
+
+/// Recompute the per-edge balance excess of an orientation:
+/// excess(e) = (x_head-side difference beyond η_e) − (ε/2)·deg(e).
+/// max over edges = the empirical additive error β_emp.
+double orientation_max_excess(const Graph& g, const Bipartition& parts,
+                              const std::vector<double>& eta,
+                              const Orientation& orientation, double eps);
+
+}  // namespace dec

@@ -1,0 +1,38 @@
+// (8+ε)Δ-edge coloring of general graphs in the CONGEST model
+// (paper Theorem 6.3 / Theorem 1.2).
+//
+// Pipeline per level i (the degree of the uncolored remainder roughly halves
+// each level, so k ≈ log Δ levels suffice):
+//   1. (ε₁Δ+⌊Δ/2⌋)-defective 4-coloring of the uncolored subgraph's nodes
+//      (Lemma 6.2, given the initial O(Δ²) Linial coloring);
+//   2. bipartite graph G1 = bichromatic edges across {0,1} | {2,3}: colored
+//      completely by the Lemma 6.1 algorithm with a fresh color range;
+//   3. bipartite graph G2 = remaining bichromatic edges across {0,2} | {1,3}:
+//      same treatment;
+//   4. only monochromatic edges remain — their node degree is at most the
+//      4-coloring's defect ≈ (1/2+ε₁)Δ — recurse.
+// The constant-degree tail is finished by the O(Δ_tail + log* n) baseline.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/properties.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+struct CongestColoringResult {
+  std::vector<Color> colors;
+  int palette = 0;
+  std::int64_t rounds = 0;
+  int levels = 0;          // recursion levels executed
+  int tail_degree = 0;     // Δ of the subgraph handled by the tail step
+};
+
+/// (8+O(ε))Δ-edge coloring in polylog(Δ) + O(log* n) rounds.
+CongestColoringResult congest_edge_coloring(
+    const Graph& g, double eps, ParamMode mode = ParamMode::kPractical,
+    RoundLedger* ledger = nullptr);
+
+}  // namespace dec

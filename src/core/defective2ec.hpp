@@ -1,0 +1,60 @@
+// Generalized (1+ε, β)-relaxed defective 2-edge coloring
+// (paper Definition 5.1, Lemma 5.3, Corollary 5.7).
+//
+// Each edge carries λ_e ∈ [0,1] (the fraction of its "interest" in the red
+// side; for plain halving λ_e = 1/2, for list coloring it is the red-color
+// fraction of its list). The goal: color every edge red or blue so that
+//   red e:  #red neighbors  ≤ (1+ε)·λ_e·deg(e) + λ_e·β,
+//   blue e: #blue neighbors ≤ (1+ε)·(1−λ_e)·deg(e) + (1−λ_e)·β.
+//
+// Reduction (Lemma 5.3): compute the η_e thresholds of Eq. (3), run the
+// balanced orientation of §5, color U→V edges red and V→U edges blue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/balanced_orientation.hpp"
+#include "core/params.hpp"
+#include "graph/bipartite.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+struct Defective2ECResult {
+  std::vector<std::uint8_t> is_red;  // per edge: 1 = red (U→V), 0 = blue
+  std::int64_t phases = 0;
+  std::int64_t rounds = 0;
+  double eps = 0.0;        // the ε the run targeted
+  double beta_used = 0.0;  // β plugged into Eq. (3) and tolerated by Def. 5.1
+  double beta_emp = 0.0;   // max measured additive overshoot (see audit)
+};
+
+/// η_e of Eq. (3) for edge e with red fraction λ_e.
+double eta_of_lambda(const Graph& g, const Bipartition& parts, EdgeId e,
+                     double lambda, double eps, double beta);
+
+/// Solve the generalized defective 2-edge coloring on a 2-colored bipartite
+/// graph. `lambda` has one entry per edge. ε ∈ (0, 1]; ν = ε/8 internally.
+Defective2ECResult defective_2_edge_coloring(const Graph& g,
+                                             const Bipartition& parts,
+                                             const std::vector<double>& lambda,
+                                             double eps,
+                                             ParamMode mode = ParamMode::kPractical,
+                                             RoundLedger* ledger = nullptr);
+
+/// Audit: per-edge same-color neighbor counts against Definition 5.1.
+/// Returns the maximum additive overshoot
+///   max_e (defect(e) − (1+ε)·λside_e·deg(e)) / max(λside_e, 1/deg-floor)
+/// where λside is λ_e for red edges and 1−λ_e for blue ones — i.e. the
+/// smallest β' for which the run satisfies Definition 5.1 with 2β' ← β'.
+double defective2ec_beta_emp(const Graph& g, const std::vector<double>& lambda,
+                             const std::vector<std::uint8_t>& is_red,
+                             double eps);
+
+/// True iff every edge satisfies Definition 5.1 with the given ε and β.
+bool defective2ec_satisfies(const Graph& g, const std::vector<double>& lambda,
+                            const std::vector<std::uint8_t>& is_red, double eps,
+                            double beta);
+
+}  // namespace dec

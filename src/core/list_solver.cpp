@@ -1,0 +1,213 @@
+#include "core/list_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "coloring/greedy_edge.hpp"
+#include "core/defective2ec.hpp"
+#include "util/logstar.hpp"
+
+namespace dec {
+
+namespace {
+
+struct EdgeState {
+  std::vector<Color> rem;  // remaining list, always within [lo, hi)
+  int lo = 0, hi = 0;      // current color-space interval
+  int passive_level = -1;  // -1 = active
+};
+
+/// Filter `rem` to [lo, hi).
+void clamp_to_interval(std::vector<Color>& rem, int lo, int hi) {
+  std::erase_if(rem, [lo, hi](Color c) { return c < lo || c >= hi; });
+}
+
+}  // namespace
+
+ListSolveStats solve_relaxed_list(const Graph& g, const Bipartition& parts,
+                                  const ListEdgeInstance& inst, double S,
+                                  const std::vector<Color>& schedule,
+                                  int schedule_palette,
+                                  std::vector<Color>& colors, ParamMode mode,
+                                  RoundLedger* ledger) {
+  validate_lists(inst);
+  validate_bipartition(g, parts);
+  DEC_REQUIRE(S >= 1.0, "slack parameter must be >= 1");
+  DEC_REQUIRE(colors.size() == static_cast<std::size_t>(g.num_edges()),
+              "color vector has wrong length");
+
+  ListSolveStats stats;
+  const int c_space = inst.color_space;
+  if (c_space == 0 || g.num_edges() == 0) return stats;
+
+  // Edges this call is responsible for.
+  std::vector<EdgeId> solve_set;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (colors[static_cast<std::size_t>(e)] == kUncolored) solve_set.push_back(e);
+  }
+  if (solve_set.empty()) return stats;
+
+  // Per-edge state; remaining lists start as the instance lists minus the
+  // colors already used by colored neighbors.
+  std::vector<EdgeState> state(static_cast<std::size_t>(g.num_edges()));
+  for (const EdgeId e : solve_set) {
+    EdgeState& st = state[static_cast<std::size_t>(e)];
+    st.lo = 0;
+    st.hi = c_space;
+    st.rem = inst.list(e);
+    std::vector<Color> used;
+    const auto [u, v] = g.endpoints(e);
+    for (const NodeId w : {u, v}) {
+      for (const Incidence& inc : g.neighbors(w)) {
+        const Color c = colors[static_cast<std::size_t>(inc.edge)];
+        if (c != kUncolored) used.push_back(c);
+      }
+    }
+    std::sort(used.begin(), used.end());
+    std::erase_if(st.rem, [&](Color c) {
+      return std::binary_search(used.begin(), used.end(), c);
+    });
+  }
+
+  const double dbar = std::max(1, g.max_edge_degree());
+  const int k_levels = std::max(1, floor_log2(static_cast<std::uint64_t>(
+                                    std::max(2, c_space))));
+  const double eps = std::clamp(
+      1.0 / std::log2(static_cast<double>(c_space) + 2.0), 0.05, 0.5);
+  const double beta = beta_of(eps, dbar, mode);
+  const double passive_threshold = beta / eps;
+
+  std::vector<bool> is_mine(static_cast<std::size_t>(g.num_edges()), false);
+  for (const EdgeId e : solve_set) is_mine[static_cast<std::size_t>(e)] = true;
+
+  for (int level = 1; level <= k_levels; ++level) {
+    // Group active edges by interval.
+    std::map<std::pair<int, int>, std::vector<EdgeId>> groups;
+    for (const EdgeId e : solve_set) {
+      const EdgeState& st = state[static_cast<std::size_t>(e)];
+      if (st.passive_level >= 0) continue;
+      groups[{st.lo, st.hi}].push_back(e);
+    }
+    if (groups.empty()) break;
+    ++stats.levels;
+
+    std::int64_t level_rounds = 0;
+    for (auto& [interval, members] : groups) {
+      const auto [lo, hi] = interval;
+      // In-group degree per edge via per-node in-group incidence counts.
+      std::vector<int> node_count(static_cast<std::size_t>(g.num_nodes()), 0);
+      for (const EdgeId e : members) {
+        const auto [u, v] = g.endpoints(e);
+        ++node_count[static_cast<std::size_t>(u)];
+        ++node_count[static_cast<std::size_t>(v)];
+      }
+      auto in_group_degree = [&](EdgeId e) {
+        const auto [u, v] = g.endpoints(e);
+        return node_count[static_cast<std::size_t>(u)] +
+               node_count[static_cast<std::size_t>(v)] - 2;
+      };
+
+      // Passivation: the paper's low-degree rule, intervals too small to
+      // split, and the slack safety net.
+      std::vector<EdgeId> stay;
+      for (const EdgeId e : members) {
+        EdgeState& st = state[static_cast<std::size_t>(e)];
+        const int d = in_group_degree(e);
+        const auto rem_size = static_cast<double>(st.rem.size());
+        DEC_CHECK(rem_size >= static_cast<double>(d) + 1.0,
+                  "list solver slack invariant broken: remaining list no "
+                  "longer exceeds the in-group degree");
+        if (static_cast<double>(d) < passive_threshold || hi - lo <= 1) {
+          st.passive_level = level;
+          ++stats.passive_natural;
+        } else if (rem_size < 1.25 * (static_cast<double>(d) + 1.0)) {
+          st.passive_level = level;
+          ++stats.passive_safety;
+        } else {
+          stay.push_back(e);
+        }
+      }
+      if (stay.empty()) continue;
+
+      // Split the interval; lower half gets the ceiling.
+      const int mid = lo + (hi - lo + 1) / 2;
+      std::vector<std::pair<NodeId, NodeId>> sub_edges;
+      sub_edges.reserve(stay.size());
+      for (const EdgeId e : stay) sub_edges.push_back(g.endpoints(e));
+      const Graph sub(g.num_nodes(), std::move(sub_edges));
+      std::vector<double> lambda(stay.size());
+      for (std::size_t i = 0; i < stay.size(); ++i) {
+        const EdgeState& st = state[static_cast<std::size_t>(stay[i])];
+        const auto lower = static_cast<double>(
+            std::count_if(st.rem.begin(), st.rem.end(),
+                          [mid](Color c) { return c < mid; }));
+        lambda[i] = lower / static_cast<double>(st.rem.size());
+      }
+      RoundLedger local;
+      const Defective2ECResult split =
+          defective_2_edge_coloring(sub, parts, lambda, eps, mode, &local);
+      level_rounds = std::max(level_rounds, local.total());
+      for (std::size_t i = 0; i < stay.size(); ++i) {
+        EdgeState& st = state[static_cast<std::size_t>(stay[i])];
+        if (split.is_red[i] != 0) {
+          st.hi = mid;
+        } else {
+          st.lo = mid;
+        }
+        clamp_to_interval(st.rem, st.lo, st.hi);
+      }
+    }
+    stats.rounds += level_rounds;
+    if (ledger != nullptr) ledger->charge("list_split", level_rounds);
+  }
+
+  // Item 3: color the edges still active (per group, all in parallel — the
+  // shared schedule sequences conflicting edges; disjoint intervals cannot
+  // conflict, same-interval edges are handled by the greedy's blocked set).
+  auto greedy_pass = [&](const std::vector<EdgeId>& edges) {
+    if (edges.empty()) return;
+    ListEdgeInstance pass_inst;
+    pass_inst.g = &g;
+    pass_inst.color_space = c_space;
+    pass_inst.lists.assign(static_cast<std::size_t>(g.num_edges()), {});
+    std::vector<bool> active(static_cast<std::size_t>(g.num_edges()), false);
+    for (const EdgeId e : edges) {
+      pass_inst.lists[static_cast<std::size_t>(e)] =
+          state[static_cast<std::size_t>(e)].rem;
+      active[static_cast<std::size_t>(e)] = true;
+    }
+    stats.rounds += greedy_list_edge_color(pass_inst, schedule,
+                                           schedule_palette, colors, &active,
+                                           ledger);
+  };
+
+  std::vector<EdgeId> still_active;
+  for (const EdgeId e : solve_set) {
+    if (state[static_cast<std::size_t>(e)].passive_level < 0) {
+      still_active.push_back(e);
+    }
+  }
+  stats.active_at_end = static_cast<std::int64_t>(still_active.size());
+  greedy_pass(still_active);
+
+  // Item 4: unwind passive edges, deepest level first.
+  for (int level = k_levels; level >= 1; --level) {
+    std::vector<EdgeId> passives;
+    for (const EdgeId e : solve_set) {
+      if (state[static_cast<std::size_t>(e)].passive_level == level) {
+        passives.push_back(e);
+      }
+    }
+    greedy_pass(passives);
+  }
+
+  for (const EdgeId e : solve_set) {
+    DEC_CHECK(colors[static_cast<std::size_t>(e)] != kUncolored,
+              "list solver left an edge uncolored");
+    ++stats.colored;
+  }
+  return stats;
+}
+
+}  // namespace dec

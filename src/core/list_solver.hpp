@@ -1,0 +1,54 @@
+// Relaxed list edge coloring solver P(Δ̄, S, C) on 2-colored bipartite
+// graphs (paper Lemma D.1 + Lemma D.2).
+//
+// Recursive color-space splitting: k = ⌊log C⌋ levels; at each level every
+// group of edges sharing a color-space interval splits that interval in two,
+// each edge committing (red/blue via the generalized defective 2-edge
+// coloring, λ_e = its red-list fraction) to the half where its list keeps
+// the most value relative to its new degree — Lemma D.1 shows the slack
+// degrades by at most (1+ε)² per level, so slack S ≥ e² survives all
+// k levels with ε = 1/log C.
+//
+// Edges whose in-group degree drops below β/ε go *passive* and are colored
+// after the recursion unwinds (deepest level first); passives hold slack ≥ 1
+// at demotion, and every later-colored neighbor removes at most one list
+// color while removing one unit of degree, so a free color always survives.
+#pragma once
+
+#include <vector>
+
+#include "coloring/list_instance.hpp"
+#include "core/params.hpp"
+#include "graph/bipartite.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+struct ListSolveStats {
+  std::int64_t rounds = 0;
+  int levels = 0;
+  std::int64_t colored = 0;
+  std::int64_t passive_natural = 0;   // demoted by the β/ε degree rule
+  std::int64_t passive_safety = 0;    // demoted by the slack safety net
+  std::int64_t active_at_end = 0;     // colored in item 3
+};
+
+/// Solve the list instance restricted to the currently uncolored edges of
+/// `colors` (entries == kUncolored). Pre-colored entries are respected as
+/// blockers and never changed. `schedule` is a proper edge coloring of g
+/// used to sequence greedy steps. Requires: for every uncolored edge,
+/// |list minus already-used neighbor colors| >= S * (uncolored degree), with
+/// S >= e^2 for full theory coverage (smaller S is accepted but the safety
+/// demotion will fire more often).
+///
+/// Throws if the slack invariant (remaining list > in-group degree) ever
+/// breaks — that would make a greedy completion impossible.
+ListSolveStats solve_relaxed_list(const Graph& g, const Bipartition& parts,
+                                  const ListEdgeInstance& inst, double S,
+                                  const std::vector<Color>& schedule,
+                                  int schedule_palette,
+                                  std::vector<Color>& colors,
+                                  ParamMode mode = ParamMode::kPractical,
+                                  RoundLedger* ledger = nullptr);
+
+}  // namespace dec

@@ -1,0 +1,154 @@
+#include "core/local_coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coloring/defective.hpp"
+#include "coloring/greedy_edge.hpp"
+#include "coloring/linial.hpp"
+#include "core/slack_boost.hpp"
+#include "util/logstar.hpp"
+
+namespace dec {
+
+LocalColoringResult solve_list_edge_coloring(const Graph& g,
+                                             const ListEdgeInstance& inst,
+                                             ParamMode mode,
+                                             RoundLedger* ledger) {
+  validate_degree_plus_one(inst);
+  DEC_REQUIRE(inst.g == &g, "instance must be over the given graph");
+
+  LocalColoringResult res;
+  res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  if (g.num_edges() == 0) return res;
+
+  // Precomputed symmetry breaking: an O(Δ̄²)-edge-coloring schedule (the "X
+  // coloring" of Lemma D.3) and an O(Δ²)-vertex coloring, both O(log* n).
+  const LinialResult schedule = linial_edge_color(g, ledger);
+  const LinialResult vertex = linial_color(g, ledger);
+  res.rounds += schedule.rounds + vertex.rounds;
+
+  constexpr int kColors = 4;                    // c of Theorem D.4
+  constexpr int kBoostTarget = 16 * kColors;    // k = 16c
+  const double S = std::exp(2.0);               // S = e² (Lemma D.2)
+
+  const int max_iters =
+      8 + 2 * ceil_log2(static_cast<std::uint64_t>(g.max_degree()) + 2);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Current uncolored subgraph.
+    std::vector<EdgeId> unc;
+    std::vector<std::pair<NodeId, NodeId>> sub_edges;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (res.colors[static_cast<std::size_t>(e)] == kUncolored) {
+        unc.push_back(e);
+        sub_edges.push_back(g.endpoints(e));
+      }
+    }
+    if (unc.empty()) break;
+    const Graph sub(g.num_nodes(), std::move(sub_edges));
+    const int dcur = sub.max_degree();
+    if (dcur <= 6) {
+      res.tail_degree = dcur;
+      break;
+    }
+    ++res.iterations;
+
+    // Step 1: defective 4-coloring of the uncolored subgraph, defect ≤ Δ/2.
+    const int defect_target = std::max(dcur / 4 + 1, dcur / 2);
+    RoundLedger dledger;
+    const DefectiveResult def = defective_split_coloring(
+        sub, vertex.colors, vertex.palette, kColors, defect_target, &dledger);
+    res.rounds += def.rounds;
+    if (ledger != nullptr) ledger->charge("local_defective", def.rounds);
+
+    // Step 2: all color pairs (a, b), sequentially (the paper iterates
+    // through the ≤ c² pairs one after the other).
+    for (int a = 0; a < kColors; ++a) {
+      for (int b = a + 1; b < kColors; ++b) {
+        std::vector<EdgeId> members;
+        std::vector<std::pair<NodeId, NodeId>> pair_edges;
+        for (const EdgeId e : unc) {
+          if (res.colors[static_cast<std::size_t>(e)] != kUncolored) continue;
+          const auto [u, v] = g.endpoints(e);
+          const Color cu = def.colors[static_cast<std::size_t>(u)];
+          const Color cv = def.colors[static_cast<std::size_t>(v)];
+          if ((cu == a && cv == b) || (cu == b && cv == a)) {
+            members.push_back(e);
+            pair_edges.push_back(g.endpoints(e));
+          }
+        }
+        if (members.empty()) continue;
+        const Graph pair_sub(g.num_nodes(), std::move(pair_edges));
+        Bipartition parts;
+        parts.side.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          parts.side[static_cast<std::size_t>(v)] =
+              def.colors[static_cast<std::size_t>(v)] == b ? 1 : 0;
+        }
+
+        // Remaining lists: instance lists minus used neighbor colors (in g).
+        ListEdgeInstance pair_inst;
+        pair_inst.g = &pair_sub;
+        pair_inst.color_space = inst.color_space;
+        pair_inst.lists.resize(members.size());
+        std::vector<Color> pair_schedule(members.size());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          const EdgeId e = members[i];
+          std::vector<Color> used;
+          const auto [u, v] = g.endpoints(e);
+          for (const NodeId w : {u, v}) {
+            for (const Incidence& inc : g.neighbors(w)) {
+              const Color c = res.colors[static_cast<std::size_t>(inc.edge)];
+              if (c != kUncolored) used.push_back(c);
+            }
+          }
+          std::sort(used.begin(), used.end());
+          std::vector<Color> rem = inst.list(e);
+          std::erase_if(rem, [&](Color c) {
+            return std::binary_search(used.begin(), used.end(), c);
+          });
+          pair_inst.lists[i] = std::move(rem);
+          pair_schedule[i] = schedule.colors[static_cast<std::size_t>(e)];
+        }
+
+        std::vector<Color> pair_colors(members.size(), kUncolored);
+        RoundLedger bledger;
+        const BoostStats boost = boost_partial_color(
+            pair_sub, parts, pair_inst, S, kBoostTarget, pair_schedule,
+            schedule.palette, pair_colors, mode, &bledger);
+        res.rounds += boost.rounds;
+        if (ledger != nullptr) ledger->charge("local_boost", boost.rounds);
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          if (pair_colors[i] != kUncolored) {
+            res.colors[static_cast<std::size_t>(members[i])] = pair_colors[i];
+          }
+        }
+      }
+    }
+  }
+
+  // Greedy tail along the schedule with the remaining lists; the degree+1
+  // invariant guarantees completion.
+  {
+    ListEdgeInstance tail_inst;
+    tail_inst.g = &g;
+    tail_inst.color_space = inst.color_space;
+    tail_inst.lists = inst.lists;
+    res.rounds += greedy_list_edge_color(tail_inst, schedule.colors,
+                                         schedule.palette, res.colors, nullptr,
+                                         ledger);
+  }
+
+  DEC_CHECK(check_list_coloring(inst, res.colors),
+            "LOCAL list coloring violated properness or list membership");
+  return res;
+}
+
+LocalColoringResult solve_2delta_minus_1(const Graph& g, ParamMode mode,
+                                         RoundLedger* ledger) {
+  const ListEdgeInstance inst = make_full_palette_instance(g);
+  return solve_list_edge_coloring(g, inst, mode, ledger);
+}
+
+}  // namespace dec

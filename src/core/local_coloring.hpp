@@ -1,0 +1,45 @@
+// (degree+1)-list edge coloring in the LOCAL model
+// (paper §7 and Appendix D, Theorem D.4 / Theorem 1.1).
+//
+// Outer loop (O(log Δ) iterations, each cutting the uncolored degree to
+// ≤ 3/4 of the previous):
+//   1. defective c-coloring of the uncolored subgraph's nodes (c = 4,
+//      defect ≤ Δ_cur/2), from the initial O(Δ²) Linial coloring;
+//   2. for every color pair (a, b): the bipartite graph G_{a,b} of uncolored
+//      edges with one endpoint colored a and the other b is partially
+//      colored by the slack-boosting Lemma D.3 (S = e², k = 16c) followed by
+//      the Lemma D.2 solver inside it, leaving G_{a,b}-degree ≤ Δ̄_{a,b}/k;
+//   3. only monochromatic edges (degree ≤ defect ≤ Δ_cur/2) and the small
+//      bipartite leftovers (≤ Δ_cur/4 in total per node) stay uncolored.
+// The constant-degree tail is colored greedily along the precomputed
+// O(Δ̄²)-edge-coloring schedule.
+//
+// The special case L_e = {0..2Δ-2} is the classic (2Δ−1)-edge coloring.
+#pragma once
+
+#include <vector>
+
+#include "coloring/list_instance.hpp"
+#include "core/params.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+struct LocalColoringResult {
+  std::vector<Color> colors;
+  std::int64_t rounds = 0;
+  int iterations = 0;     // outer degree-reduction iterations
+  int tail_degree = 0;    // uncolored degree when the greedy tail started
+};
+
+/// Solve a (degree+1)-list edge coloring instance on a general graph.
+LocalColoringResult solve_list_edge_coloring(
+    const Graph& g, const ListEdgeInstance& inst,
+    ParamMode mode = ParamMode::kPractical, RoundLedger* ledger = nullptr);
+
+/// Convenience wrapper: the (2Δ−1)-edge coloring problem (full lists).
+LocalColoringResult solve_2delta_minus_1(const Graph& g,
+                                         ParamMode mode = ParamMode::kPractical,
+                                         RoundLedger* ledger = nullptr);
+
+}  // namespace dec

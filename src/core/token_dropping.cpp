@@ -1,0 +1,215 @@
+#include "core/token_dropping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dec {
+
+TokenDroppingResult run_token_dropping(const Digraph& game,
+                                       std::vector<int> initial_tokens,
+                                       const TokenDroppingParams& params,
+                                       RoundLedger* ledger) {
+  const NodeId n = game.num_nodes();
+  const int k = params.k;
+  const int delta = params.delta;
+  DEC_REQUIRE(k >= 1, "k must be >= 1");
+  DEC_REQUIRE(delta >= 1, "delta must be >= 1");
+  DEC_REQUIRE(initial_tokens.size() == static_cast<std::size_t>(n),
+              "initial token vector has wrong length");
+
+  std::vector<int> alpha = params.alpha;
+  if (alpha.empty()) alpha.assign(static_cast<std::size_t>(n), delta);
+  DEC_REQUIRE(alpha.size() == static_cast<std::size_t>(n),
+              "alpha vector has wrong length");
+  for (NodeId v = 0; v < n; ++v) {
+    DEC_REQUIRE(alpha[static_cast<std::size_t>(v)] >= delta,
+                "Theorem 4.3 requires alpha_v >= delta");
+    DEC_REQUIRE(initial_tokens[static_cast<std::size_t>(v)] >= 0 &&
+                    initial_tokens[static_cast<std::size_t>(v)] <= k,
+                "initial tokens must be in [0, k]");
+  }
+
+  const std::int64_t total_before =
+      std::accumulate(initial_tokens.begin(), initial_tokens.end(),
+                      std::int64_t{0});
+
+  TokenDroppingResult res;
+  res.edge_passive.assign(static_cast<std::size_t>(game.num_arcs()), false);
+
+  std::vector<int> x = std::move(initial_tokens);  // active tokens
+  std::vector<int> y(static_cast<std::size_t>(n), 0);  // passive tokens
+
+  // Priority key for step 4: receivers prefer senders w with small
+  // deg(w)/α_w; ties broken by node id for determinism. Compare via cross
+  // multiplication to stay in integers.
+  auto sender_less = [&](NodeId a, NodeId b) {
+    const std::int64_t lhs = static_cast<std::int64_t>(game.degree(a)) *
+                             alpha[static_cast<std::size_t>(b)];
+    const std::int64_t rhs = static_cast<std::int64_t>(game.degree(b)) *
+                             alpha[static_cast<std::size_t>(a)];
+    if (lhs != rhs) return lhs < rhs;
+    return a < b;
+  };
+
+  const std::int64_t num_phases = k / delta - 1;
+  for (std::int64_t t = 1; t <= num_phases; ++t) {
+    // Step 1: active set A(t).
+    std::vector<bool> active_node(static_cast<std::size_t>(n), false);
+    for (NodeId v = 0; v < n; ++v) {
+      if (x[static_cast<std::size_t>(v)] >=
+          alpha[static_cast<std::size_t>(v)] + delta) {
+        active_node[static_cast<std::size_t>(v)] = true;
+      }
+    }
+    // Step 2: retire δ tokens at active nodes.
+    std::vector<int> xp = x;
+    for (NodeId v = 0; v < n; ++v) {
+      if (active_node[static_cast<std::size_t>(v)]) {
+        xp[static_cast<std::size_t>(v)] -= delta;
+        y[static_cast<std::size_t>(v)] += delta;
+      }
+    }
+    // Steps 3–4: receivers send proposals to eligible senders.
+    // proposals_to[u] lists receiver nodes v that proposed to u (u must
+    // decide how many to accept).
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>> proposals_to(
+        static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      const std::int64_t capacity =
+          static_cast<std::int64_t>(k) - t * delta -
+          alpha[static_cast<std::size_t>(v)];
+      if (xp[static_cast<std::size_t>(v)] > capacity) continue;
+      // S(v): active in-neighbors over still-active arcs.
+      std::vector<std::pair<NodeId, EdgeId>> senders;
+      for (const Arc& a : game.in(v)) {
+        if (res.edge_passive[static_cast<std::size_t>(a.edge)]) continue;
+        if (active_node[static_cast<std::size_t>(a.node)]) {
+          senders.emplace_back(a.node, a.edge);
+        }
+      }
+      if (senders.empty()) continue;
+      const std::int64_t want = static_cast<std::int64_t>(k) - t * delta -
+                                xp[static_cast<std::size_t>(v)];
+      if (want <= 0) continue;
+      const std::size_t count =
+          std::min<std::size_t>(senders.size(), static_cast<std::size_t>(want));
+      std::sort(senders.begin(), senders.end(),
+                [&](const auto& a, const auto& b) {
+                  return sender_less(a.first, b.first);
+                });
+      for (std::size_t i = 0; i < count; ++i) {
+        proposals_to[static_cast<std::size_t>(senders[i].first)].emplace_back(
+            v, senders[i].second);
+      }
+    }
+    // Step 5: senders accept up to x'_u proposals and move tokens.
+    std::vector<int> received(static_cast<std::size_t>(n), 0);
+    std::vector<int> sent(static_cast<std::size_t>(n), 0);
+    for (NodeId u = 0; u < n; ++u) {
+      auto& props = proposals_to[static_cast<std::size_t>(u)];
+      if (props.empty()) continue;
+      const int q = std::min(static_cast<int>(props.size()),
+                             xp[static_cast<std::size_t>(u)]);
+      // Deterministic "arbitrary subset": lowest receiver id first.
+      std::sort(props.begin(), props.end());
+      for (int i = 0; i < q; ++i) {
+        const auto [v, arc] = props[static_cast<std::size_t>(i)];
+        DEC_CHECK(!res.edge_passive[static_cast<std::size_t>(arc)],
+                  "token moved over an already-passive edge");
+        res.edge_passive[static_cast<std::size_t>(arc)] = true;
+        ++received[static_cast<std::size_t>(v)];
+        ++sent[static_cast<std::size_t>(u)];
+        ++res.tokens_moved;
+      }
+    }
+    // Step 6: update active token counts.
+    for (NodeId v = 0; v < n; ++v) {
+      x[static_cast<std::size_t>(v)] = xp[static_cast<std::size_t>(v)] +
+                                       received[static_cast<std::size_t>(v)] -
+                                       sent[static_cast<std::size_t>(v)];
+      DEC_CHECK(x[static_cast<std::size_t>(v)] >= 0, "negative active tokens");
+      DEC_CHECK(x[static_cast<std::size_t>(v)] +
+                        y[static_cast<std::size_t>(v)] <=
+                    k,
+                "Lemma 4.1 violated: more than k tokens at a node");
+    }
+    ++res.phases;
+    // One phase = three communication rounds: sender announcement, receiver
+    // proposals, sender accepts/token transfer.
+    res.rounds += 3;
+    if (ledger != nullptr) ledger->charge("token_dropping", 3);
+  }
+
+  res.tokens.resize(static_cast<std::size_t>(n));
+  std::int64_t total_after = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    res.tokens[static_cast<std::size_t>(v)] =
+        x[static_cast<std::size_t>(v)] + y[static_cast<std::size_t>(v)];
+    total_after += res.tokens[static_cast<std::size_t>(v)];
+  }
+  DEC_CHECK(total_after == total_before, "token count not conserved");
+  return res;
+}
+
+double theorem_4_3_bound(const Digraph& game, const TokenDroppingParams& params,
+                         EdgeId arc) {
+  const auto [u, v] = game.arc(arc);
+  const double au = params.alpha.empty()
+                        ? params.delta
+                        : params.alpha[static_cast<std::size_t>(u)];
+  const double av = params.alpha.empty()
+                        ? params.delta
+                        : params.alpha[static_cast<std::size_t>(v)];
+  const double du = game.degree(u);
+  const double dv = game.degree(v);
+  return 2.0 * (au + av) +
+         (du * dv / (au * av) + du / au + dv / av) * params.delta;
+}
+
+double max_bound_violation(const Digraph& game,
+                           const TokenDroppingParams& params,
+                           const TokenDroppingResult& result) {
+  double worst = -1e300;
+  for (EdgeId a = 0; a < game.num_arcs(); ++a) {
+    if (result.edge_passive[static_cast<std::size_t>(a)]) continue;
+    const auto [u, v] = game.arc(a);
+    const double diff =
+        static_cast<double>(result.tokens[static_cast<std::size_t>(u)]) -
+        static_cast<double>(result.tokens[static_cast<std::size_t>(v)]);
+    worst = std::max(worst, diff - theorem_4_3_bound(game, params, a));
+  }
+  return worst == -1e300 ? 0.0 : worst;
+}
+
+Digraph layered_game(int layers, int width, int out_deg, Rng& rng) {
+  DEC_REQUIRE(layers >= 1 && width >= 1 && out_deg >= 0, "bad game shape");
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  auto id = [width](int layer, int i) {
+    return static_cast<NodeId>(layer * width + i);
+  };
+  for (int layer = 1; layer < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      std::vector<int> targets(static_cast<std::size_t>(width));
+      std::iota(targets.begin(), targets.end(), 0);
+      rng.shuffle(targets);
+      const int deg = std::min(out_deg, width);
+      for (int j = 0; j < deg; ++j) {
+        arcs.emplace_back(id(layer, i), id(layer - 1, targets[static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+  return Digraph(static_cast<NodeId>(layers) * width, std::move(arcs));
+}
+
+Digraph random_game(NodeId n, double p, Rng& rng) {
+  DEC_REQUIRE(n >= 1, "need at least one node");
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.next_bool(p)) arcs.emplace_back(u, v);
+    }
+  }
+  return Digraph(n, std::move(arcs));
+}
+
+}  // namespace dec

@@ -1,0 +1,59 @@
+#include "graph/bipartite.hpp"
+
+#include <queue>
+
+namespace dec {
+
+std::optional<Bipartition> try_bipartition(const Graph& g) {
+  constexpr std::uint8_t kUnset = 2;
+  Bipartition parts;
+  parts.side.assign(static_cast<std::size_t>(g.num_nodes()), kUnset);
+  std::queue<NodeId> frontier;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (parts.side[static_cast<std::size_t>(root)] != kUnset) continue;
+    parts.side[static_cast<std::size_t>(root)] = 0;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      const std::uint8_t mine = parts.side[static_cast<std::size_t>(v)];
+      for (const Incidence& inc : g.neighbors(v)) {
+        auto& s = parts.side[static_cast<std::size_t>(inc.neighbor)];
+        if (s == kUnset) {
+          s = static_cast<std::uint8_t>(1 - mine);
+          frontier.push(inc.neighbor);
+        } else if (s == mine) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return parts;
+}
+
+void validate_bipartition(const Graph& g, const Bipartition& parts) {
+  DEC_REQUIRE(parts.side.size() == static_cast<std::size_t>(g.num_nodes()),
+              "side vector has wrong length");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DEC_REQUIRE(parts.side[static_cast<std::size_t>(v)] <= 1,
+                "side value must be 0 or 1");
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    DEC_REQUIRE(parts.side[static_cast<std::size_t>(u)] !=
+                    parts.side[static_cast<std::size_t>(v)],
+                "monochromatic edge in claimed bipartition");
+  }
+}
+
+NodeId u_endpoint(const Graph& g, const Bipartition& parts, EdgeId e) {
+  const auto [a, b] = g.endpoints(e);
+  return parts.in_u(a) ? a : b;
+}
+
+NodeId v_endpoint(const Graph& g, const Bipartition& parts, EdgeId e) {
+  const auto [a, b] = g.endpoints(e);
+  return parts.in_v(a) ? a : b;
+}
+
+}  // namespace dec

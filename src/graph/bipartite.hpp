@@ -1,0 +1,43 @@
+// Two-colored bipartite graphs.
+//
+// The paper's core subroutines (§5, Lemma 6.1, Appendix D) run on "2-colored
+// bipartite graphs": bipartite graphs where every node knows its side. We
+// carry that knowledge explicitly as a side vector next to the Graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dec {
+
+/// Side assignment for a bipartite graph; side 0 = "U", side 1 = "V".
+struct Bipartition {
+  std::vector<std::uint8_t> side;
+
+  bool in_u(NodeId v) const { return side[static_cast<std::size_t>(v)] == 0; }
+  bool in_v(NodeId v) const { return side[static_cast<std::size_t>(v)] == 1; }
+};
+
+/// A graph together with a consistent 2-coloring of its nodes.
+struct BipartiteGraph {
+  Graph graph;
+  Bipartition parts;
+};
+
+/// BFS 2-coloring; returns std::nullopt when the graph has an odd cycle.
+/// Isolated nodes and fresh components start on side 0.
+std::optional<Bipartition> try_bipartition(const Graph& g);
+
+/// Throws unless `parts` is a valid 2-coloring of g.
+void validate_bipartition(const Graph& g, const Bipartition& parts);
+
+/// For an edge {u,v}, return the endpoint on side 0 (the "U" endpoint).
+NodeId u_endpoint(const Graph& g, const Bipartition& parts, EdgeId e);
+
+/// For an edge {u,v}, return the endpoint on side 1 (the "V" endpoint).
+NodeId v_endpoint(const Graph& g, const Bipartition& parts, EdgeId e);
+
+}  // namespace dec

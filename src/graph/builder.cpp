@@ -1,0 +1,27 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DEC_REQUIRE(u >= 0 && v >= 0, "negative node id");
+  DEC_REQUIRE(u != v, "self-loops are not allowed");
+  if (u > v) std::swap(u, v);
+  ensure_nodes(v + 1);
+  edges_.emplace_back(u, v);
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+         edges_.end();
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return Graph(n_, std::move(edges_));
+}
+
+}  // namespace dec

@@ -1,0 +1,40 @@
+// Mutable accumulator producing validated dec::Graph instances.
+//
+// The builder tolerates duplicate insertions (deduplicates), rejects
+// self-loops, and grows the node range on demand, which keeps generator code
+// simple and the Graph class strict.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dec {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n = 0) : n_(n) {}
+
+  /// Add undirected edge {u, v}; duplicates are removed at build() time.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Ensure the graph has at least n nodes.
+  void ensure_nodes(NodeId n) { n_ = n_ > n ? n_ : n; }
+
+  /// Whether {u,v} was added already (linear scan; for generator retry loops
+  /// prefer has_edge_fast on small batches or dedupe at build()).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t num_edges_with_duplicates() const { return edges_.size(); }
+
+  /// Validate, deduplicate, and produce the immutable graph.
+  Graph build() &&;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace dec

@@ -1,0 +1,36 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+Digraph::Digraph(NodeId n, std::vector<std::pair<NodeId, NodeId>> arcs)
+    : n_(n), arcs_(std::move(arcs)) {
+  DEC_REQUIRE(n >= 0, "negative node count");
+  out_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  in_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : arcs_) {
+    DEC_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, "arc endpoint out of range");
+    DEC_REQUIRE(u != v, "self-loops are not allowed");
+    ++out_off_[static_cast<std::size_t>(u) + 1];
+    ++in_off_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i <= static_cast<std::size_t>(n); ++i) {
+    out_off_[i] += out_off_[i - 1];
+    in_off_[i] += in_off_[i - 1];
+  }
+  out_adj_.resize(arcs_.size());
+  in_adj_.resize(arcs_.size());
+  std::vector<std::size_t> oc(out_off_.begin(), out_off_.end() - 1);
+  std::vector<std::size_t> ic(in_off_.begin(), in_off_.end() - 1);
+  for (EdgeId e = 0; e < num_arcs(); ++e) {
+    const auto [u, v] = arcs_[static_cast<std::size_t>(e)];
+    out_adj_[oc[static_cast<std::size_t>(u)]++] = Arc{v, e};
+    in_adj_[ic[static_cast<std::size_t>(v)]++] = Arc{u, e};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    max_degree_ = std::max(max_degree_, degree(v));
+  }
+}
+
+}  // namespace dec

@@ -1,0 +1,81 @@
+// Directed graph for the generalized token dropping game (paper §4).
+//
+// The game graph is an arbitrary digraph; tokens move along edge directions
+// and each directed edge can carry at most one token ever. We store a CSR
+// over both out- and in-adjacency so that the distributed phases can iterate
+// "potential senders into v" (in-neighbors) efficiently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dec {
+
+/// One directed adjacency entry.
+struct Arc {
+  NodeId node;  // the other endpoint
+  EdgeId edge;  // directed edge id
+};
+
+class Digraph {
+ public:
+  /// Build from an explicit arc list (tail -> head) over nodes 0..n-1.
+  /// Self-loops are rejected; parallel arcs are allowed (the token game
+  /// treats each arc as an independent one-shot channel).
+  Digraph(NodeId n, std::vector<std::pair<NodeId, NodeId>> arcs);
+
+  Digraph() = default;
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_arcs() const { return static_cast<EdgeId>(arcs_.size()); }
+
+  std::pair<NodeId, NodeId> arc(EdgeId e) const {
+    DEC_REQUIRE(e >= 0 && e < num_arcs(), "arc out of range");
+    return arcs_[static_cast<std::size_t>(e)];
+  }
+
+  /// Arcs leaving v.
+  std::span<const Arc> out(NodeId v) const {
+    DEC_REQUIRE(v >= 0 && v < n_, "node out of range");
+    const auto lo = out_off_[static_cast<std::size_t>(v)];
+    const auto hi = out_off_[static_cast<std::size_t>(v) + 1];
+    return {out_adj_.data() + lo, static_cast<std::size_t>(hi - lo)};
+  }
+
+  /// Arcs entering v.
+  std::span<const Arc> in(NodeId v) const {
+    DEC_REQUIRE(v >= 0 && v < n_, "node out of range");
+    const auto lo = in_off_[static_cast<std::size_t>(v)];
+    const auto hi = in_off_[static_cast<std::size_t>(v) + 1];
+    return {in_adj_.data() + lo, static_cast<std::size_t>(hi - lo)};
+  }
+
+  int out_degree(NodeId v) const { return static_cast<int>(out(v).size()); }
+  int in_degree(NodeId v) const { return static_cast<int>(in(v).size()); }
+
+  /// Degree in the underlying undirected multigraph (out + in).
+  int degree(NodeId v) const { return out_degree(v) + in_degree(v); }
+
+  /// Maximum undirected degree.
+  int max_degree() const { return max_degree_; }
+
+  /// Line-graph degree of arc e in the underlying undirected multigraph:
+  /// deg(u) + deg(v) - 2.
+  int arc_degree(EdgeId e) const {
+    const auto [u, v] = arc(e);
+    return degree(u) + degree(v) - 2;
+  }
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> arcs_;
+  std::vector<std::size_t> out_off_, in_off_;
+  std::vector<Arc> out_adj_, in_adj_;
+  int max_degree_ = 0;
+};
+
+}  // namespace dec

@@ -1,0 +1,313 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace dec::gen {
+
+BipartiteGraph regular_bipartite(NodeId n_per_side, int d) {
+  DEC_REQUIRE(n_per_side >= 1, "need at least one node per side");
+  DEC_REQUIRE(d >= 0 && d <= n_per_side,
+              "regular bipartite requires 0 <= d <= n_per_side");
+  GraphBuilder b(2 * n_per_side);
+  // Union of d cyclic-shift matchings: U_i -- V_{(i+s) mod n}. Distinct
+  // shifts give edge-disjoint perfect matchings, hence an exactly d-regular
+  // simple bipartite graph.
+  for (int s = 0; s < d; ++s) {
+    for (NodeId i = 0; i < n_per_side; ++i) {
+      const NodeId u = i;
+      const NodeId v = n_per_side + (i + s) % n_per_side;
+      b.add_edge(u, v);
+    }
+  }
+  Graph g = std::move(b).build();
+  Bipartition parts;
+  parts.side.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v = n_per_side; v < g.num_nodes(); ++v) {
+    parts.side[static_cast<std::size_t>(v)] = 1;
+  }
+  return BipartiteGraph{std::move(g), std::move(parts)};
+}
+
+BipartiteGraph random_bipartite(NodeId nu, NodeId nv, double p, Rng& rng) {
+  DEC_REQUIRE(nu >= 1 && nv >= 1, "need nodes on both sides");
+  GraphBuilder b(nu + nv);
+  for (NodeId u = 0; u < nu; ++u) {
+    for (NodeId v = 0; v < nv; ++v) {
+      if (rng.next_bool(p)) b.add_edge(u, nu + v);
+    }
+  }
+  Graph g = std::move(b).build();
+  Bipartition parts;
+  parts.side.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v = nu; v < g.num_nodes(); ++v) {
+    parts.side[static_cast<std::size_t>(v)] = 1;
+  }
+  return BipartiteGraph{std::move(g), std::move(parts)};
+}
+
+Graph gnp(NodeId n, double p, Rng& rng) {
+  DEC_REQUIRE(n >= 0, "negative node count");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_regular(NodeId n, int d, Rng& rng) {
+  DEC_REQUIRE(n >= 1 && d >= 0 && d < n, "need 0 <= d < n");
+  DEC_REQUIRE((static_cast<long long>(n) * d) % 2 == 0, "n*d must be even");
+  if (d == 0) return empty(n);
+  // Configuration model followed by edge-swap repair: whole-graph rejection
+  // has vanishing success probability already for moderate d, whereas
+  // swapping a violating pair with a uniformly random partner pair fixes
+  // defects in O(defects) expected swaps.
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  const std::size_t pairs = stubs.size() / 2;
+  auto key = [n](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<std::int64_t>(a) * n + b;
+  };
+  auto pair_u = [&](std::size_t i) -> NodeId& { return stubs[2 * i]; };
+  auto pair_v = [&](std::size_t i) -> NodeId& { return stubs[2 * i + 1]; };
+
+  std::unordered_map<std::int64_t, int> edge_count;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    if (pair_u(i) != pair_v(i)) ++edge_count[key(pair_u(i), pair_v(i))];
+  }
+  auto is_bad = [&](std::size_t i) {
+    return pair_u(i) == pair_v(i) ||
+           edge_count[key(pair_u(i), pair_v(i))] > 1;
+  };
+
+  std::int64_t budget = 200 * static_cast<std::int64_t>(pairs) + 100000;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    while (is_bad(i)) {
+      DEC_CHECK(--budget > 0, "random_regular: swap repair did not converge");
+      const std::size_t j = static_cast<std::size_t>(rng.next_below(pairs));
+      if (j == i) continue;
+      const NodeId a = pair_u(i), b = pair_v(i);
+      const NodeId c = pair_u(j), e = pair_v(j);
+      // Propose pairs (a, e) and (c, b).
+      if (a == e || c == b) continue;
+      const std::int64_t k1 = key(a, e), k2 = key(c, b);
+      if (edge_count[k1] > 0 || edge_count[k2] > 0 || k1 == k2) continue;
+      if (a != b) --edge_count[key(a, b)];
+      if (c != e) --edge_count[key(c, e)];
+      pair_v(i) = e;
+      pair_v(j) = b;
+      ++edge_count[k1];
+      ++edge_count[k2];
+    }
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    NodeId u = pair_u(i), v = pair_v(i);
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph power_law(NodeId n, double gamma, double avg_deg, Rng& rng) {
+  DEC_REQUIRE(n >= 1, "need at least one node");
+  DEC_REQUIRE(gamma > 2.0, "Chung-Lu needs gamma > 2");
+  std::vector<double> w(static_cast<std::size_t>(n));
+  const double exponent = -1.0 / (gamma - 1.0);
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), exponent);
+    total += w[static_cast<std::size_t>(i)];
+  }
+  const double scale = avg_deg * static_cast<double>(n) / total;
+  for (auto& x : w) x *= scale;
+  const double wsum = avg_deg * static_cast<double>(n);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = std::min(
+          1.0, w[static_cast<std::size_t>(u)] * w[static_cast<std::size_t>(v)] / wsum);
+      if (rng.next_bool(p)) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  DEC_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  b.ensure_nodes(rows * cols);
+  return std::move(b).build();
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  DEC_REQUIRE(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube(int dim) {
+  DEC_REQUIRE(dim >= 0 && dim <= 24, "hypercube dimension out of range");
+  const NodeId n = static_cast<NodeId>(1) << dim;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const NodeId u = v ^ (static_cast<NodeId>(1) << bit);
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  b.ensure_nodes(n);
+  return std::move(b).build();
+}
+
+Graph complete(NodeId n) {
+  DEC_REQUIRE(n >= 0, "negative node count");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  b.ensure_nodes(n);
+  return std::move(b).build();
+}
+
+BipartiteGraph complete_bipartite(NodeId a, NodeId b_count) {
+  DEC_REQUIRE(a >= 1 && b_count >= 1, "need nodes on both sides");
+  GraphBuilder b(a + b_count);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b_count; ++v) b.add_edge(u, a + v);
+  }
+  Graph g = std::move(b).build();
+  Bipartition parts;
+  parts.side.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v = a; v < g.num_nodes(); ++v) {
+    parts.side[static_cast<std::size_t>(v)] = 1;
+  }
+  return BipartiteGraph{std::move(g), std::move(parts)};
+}
+
+Graph path(NodeId n) {
+  DEC_REQUIRE(n >= 1, "path needs at least one node");
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.ensure_nodes(n);
+  return std::move(b).build();
+}
+
+Graph cycle(NodeId n) {
+  DEC_REQUIRE(n >= 3, "cycle needs at least three nodes");
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return std::move(b).build();
+}
+
+Graph star(NodeId leaves) {
+  DEC_REQUIRE(leaves >= 0, "negative leaf count");
+  GraphBuilder b(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  b.ensure_nodes(leaves + 1);
+  return std::move(b).build();
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  DEC_REQUIRE(n >= 1, "tree needs at least one node");
+  if (n == 1) return empty(1);
+  if (n == 2) return path(2);
+  // Prüfer decoding gives a uniform labeled tree.
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n) - 2);
+  for (auto& x : prufer) x = static_cast<NodeId>(rng.next_below(
+                             static_cast<std::uint64_t>(n)));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId x : prufer) ++deg[static_cast<std::size_t>(x)];
+  GraphBuilder b(n);
+  // Min-leaf selection via linear scan pointer (n is small in tests).
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (NodeId x : prufer) {
+    NodeId leaf = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (deg[static_cast<std::size_t>(v)] == 1 && !used[static_cast<std::size_t>(v)]) {
+        leaf = v;
+        break;
+      }
+    }
+    DEC_CHECK(leaf != kInvalidNode, "Prüfer decoding ran out of leaves");
+    b.add_edge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = true;
+    --deg[static_cast<std::size_t>(x)];
+  }
+  NodeId a = kInvalidNode, c = kInvalidNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (used[static_cast<std::size_t>(v)] || deg[static_cast<std::size_t>(v)] != 1) continue;
+    if (a == kInvalidNode) {
+      a = v;
+    } else {
+      c = v;
+    }
+  }
+  DEC_CHECK(a != kInvalidNode && c != kInvalidNode,
+            "Prüfer decoding must end with two leaves");
+  b.add_edge(a, c);
+  return std::move(b).build();
+}
+
+Graph bary_tree(int branching, int depth) {
+  DEC_REQUIRE(branching >= 1 && depth >= 0, "invalid b-ary tree parameters");
+  GraphBuilder b(1);
+  NodeId next = 1;
+  std::vector<NodeId> level{0};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<NodeId> nxt;
+    for (NodeId parent : level) {
+      for (int c = 0; c < branching; ++c) {
+        b.add_edge(parent, next);
+        nxt.push_back(next++);
+      }
+    }
+    level = std::move(nxt);
+  }
+  b.ensure_nodes(next);
+  return std::move(b).build();
+}
+
+Graph empty(NodeId n) {
+  DEC_REQUIRE(n >= 0, "negative node count");
+  return Graph(n, {});
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  std::vector<std::pair<NodeId, NodeId>> edges = a.edge_list();
+  const NodeId shift = a.num_nodes();
+  for (const auto& [u, v] : b.edge_list()) {
+    edges.emplace_back(u + shift, v + shift);
+  }
+  return Graph(a.num_nodes() + b.num_nodes(), std::move(edges));
+}
+
+}  // namespace dec::gen

@@ -1,0 +1,72 @@
+// Deterministic graph generators for tests, benches, and examples.
+//
+// Every generator takes an explicit Rng so results are reproducible from a
+// seed. Bipartite generators also return the Bipartition so that algorithms
+// requiring a 2-colored bipartite input (paper §5–§7) can be exercised
+// without running a bipartition check first.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dec::gen {
+
+/// d-regular bipartite graph on n_per_side + n_per_side nodes, built as the
+/// union of d distinct cyclic-shift perfect matchings. Requires d <= n_per_side.
+BipartiteGraph regular_bipartite(NodeId n_per_side, int d);
+
+/// Random bipartite graph: each of the nu * nv candidate edges kept with
+/// probability p.
+BipartiteGraph random_bipartite(NodeId nu, NodeId nv, double p, Rng& rng);
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(NodeId n, double p, Rng& rng);
+
+/// Random d-regular simple graph via the configuration model with restarts.
+/// Requires n * d even, d < n.
+Graph random_regular(NodeId n, int d, Rng& rng);
+
+/// Chung–Lu power-law graph: expected degree of node i proportional to
+/// (i+1)^(-1/(gamma-1)) scaled to average degree avg_deg. gamma > 2.
+Graph power_law(NodeId n, double gamma, double avg_deg, Rng& rng);
+
+/// 2D grid (rows x cols, no wraparound).
+Graph grid(NodeId rows, NodeId cols);
+
+/// 2D torus (rows x cols with wraparound). Requires rows, cols >= 3.
+Graph torus(NodeId rows, NodeId cols);
+
+/// Hypercube on 2^dim nodes.
+Graph hypercube(int dim);
+
+/// Complete graph K_n.
+Graph complete(NodeId n);
+
+/// Complete bipartite graph K_{a,b}.
+BipartiteGraph complete_bipartite(NodeId a, NodeId b);
+
+/// Path on n nodes.
+Graph path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle(NodeId n);
+
+/// Star with `leaves` leaves (center = node 0).
+Graph star(NodeId leaves);
+
+/// Uniform random labeled tree on n nodes (Prüfer sequence).
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Complete b-ary tree of the given depth (depth 0 = single node).
+Graph bary_tree(int branching, int depth);
+
+/// Empty graph on n nodes.
+Graph empty(NodeId n);
+
+/// Disjoint union of two graphs (nodes of b shifted by a.num_nodes()).
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+}  // namespace dec::gen

@@ -1,0 +1,57 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+Graph::Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges)
+    : n_(n), edges_(std::move(edges)) {
+  DEC_REQUIRE(n >= 0, "negative node count");
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    DEC_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, "edge endpoint out of range");
+    DEC_REQUIRE(u != v, "self-loops are not allowed");
+    ++offsets_[static_cast<std::size_t>(u) + 1];
+    ++offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  adj_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const auto [u, v] = edges_[static_cast<std::size_t>(e)];
+    adj_[cursor[static_cast<std::size_t>(u)]++] = Incidence{v, e};
+    adj_[cursor[static_cast<std::size_t>(v)]++] = Incidence{u, e};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    auto lo = adj_.begin() + static_cast<std::ptrdiff_t>(
+                                 offsets_[static_cast<std::size_t>(v)]);
+    auto hi = adj_.begin() + static_cast<std::ptrdiff_t>(
+                                 offsets_[static_cast<std::size_t>(v) + 1]);
+    std::sort(lo, hi, [](const Incidence& a, const Incidence& b) {
+      return a.neighbor < b.neighbor;
+    });
+    // Simplicity: adjacent entries with equal neighbors are parallel edges.
+    for (auto it = lo; it != hi && it + 1 != hi; ++it) {
+      DEC_REQUIRE((it + 1)->neighbor != it->neighbor,
+                  "parallel edges are not allowed");
+    }
+    max_degree_ = std::max(max_degree_, degree(v));
+  }
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    max_edge_degree_ = std::max(max_edge_degree_, edge_degree(e));
+  }
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  DEC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "node out of range");
+  const auto nb = neighbors(u);
+  auto it = std::lower_bound(
+      nb.begin(), nb.end(), v,
+      [](const Incidence& inc, NodeId target) { return inc.neighbor < target; });
+  if (it != nb.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+}  // namespace dec

@@ -1,0 +1,102 @@
+// Immutable undirected graph in CSR form with stable edge identifiers.
+//
+// Everything in this library runs on dec::Graph: nodes are 0..n-1, edges are
+// 0..m-1, and the adjacency of a node enumerates (neighbor, edge id) pairs.
+// Edge ids are the identities the edge coloring algorithms color; the "edge
+// degree" accessors implement the line-graph degree deg(e) = deg(u)+deg(v)-2
+// the paper works with throughout.
+//
+// Graphs are simple (no self-loops, no parallel edges); GraphBuilder enforces
+// this at construction time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dec {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr EdgeId kInvalidEdge = -1;
+
+/// One adjacency entry: the neighbor reached and the id of the edge used.
+struct Incidence {
+  NodeId neighbor;
+  EdgeId edge;
+};
+
+class Graph {
+ public:
+  /// Build from an explicit edge list over nodes 0..n-1. The edge list must
+  /// be simple; use GraphBuilder for validation and deduplication.
+  Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  Graph() = default;
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Degree of node v.
+  int degree(NodeId v) const {
+    DEC_REQUIRE(v >= 0 && v < n_, "node out of range");
+    return static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                            offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Line-graph degree of edge e: deg(u) + deg(v) - 2.
+  int edge_degree(EdgeId e) const {
+    const auto [u, v] = endpoints(e);
+    return degree(u) + degree(v) - 2;
+  }
+
+  /// Maximum node degree Δ (0 for the empty graph).
+  int max_degree() const { return max_degree_; }
+
+  /// Maximum line-graph degree Δ̄ <= 2Δ - 2.
+  int max_edge_degree() const { return max_edge_degree_; }
+
+  /// Endpoints of edge e, as stored (first, second).
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const {
+    DEC_REQUIRE(e >= 0 && e < num_edges(), "edge out of range");
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// The endpoint of e that is not v. Requires v to be an endpoint of e.
+  NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const auto [a, b] = endpoints(e);
+    DEC_REQUIRE(v == a || v == b, "node is not an endpoint of edge");
+    return v == a ? b : a;
+  }
+
+  /// Adjacency of node v as (neighbor, edge id) pairs, sorted by neighbor.
+  std::span<const Incidence> neighbors(NodeId v) const {
+    DEC_REQUIRE(v >= 0 && v < n_, "node out of range");
+    const auto lo = offsets_[static_cast<std::size_t>(v)];
+    const auto hi = offsets_[static_cast<std::size_t>(v) + 1];
+    return {adj_.data() + lo, static_cast<std::size_t>(hi - lo)};
+  }
+
+  /// All edges as endpoint pairs, indexed by edge id.
+  const std::vector<std::pair<NodeId, NodeId>>& edge_list() const {
+    return edges_;
+  }
+
+  /// Edge id between u and v, or kInvalidEdge (binary search, O(log deg)).
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<Incidence> adj_;        // 2m entries
+  int max_degree_ = 0;
+  int max_edge_degree_ = 0;
+};
+
+}  // namespace dec

@@ -1,0 +1,51 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dec {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edge_list()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  NodeId n = 0;
+  EdgeId m = 0;
+  if (!(is >> n >> m)) throw CheckError("edge list: missing header");
+  DEC_REQUIRE(n >= 0 && m >= 0, "edge list: negative header values");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) {
+    NodeId u = 0, v = 0;
+    if (!(is >> u >> v)) throw CheckError("edge list: truncated edge section");
+    edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+std::string to_dot(const Graph& g, const std::vector<Color>* edge_color) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  " << v << ";\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    os << "  " << u << " -- " << v;
+    if (edge_color != nullptr) {
+      DEC_REQUIRE(edge_color->size() == static_cast<std::size_t>(g.num_edges()),
+                  "edge color vector has wrong length");
+      os << " [label=\"" << (*edge_color)[static_cast<std::size_t>(e)] << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dec

@@ -1,0 +1,25 @@
+// Plain-text graph I/O.
+//
+// Format: first line "n m", then m lines "u v". Used by the examples to load
+// custom topologies and by tests for round-tripping.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace dec {
+
+/// Write "n m\n" followed by one "u v" line per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parse the write_edge_list format. Throws CheckError on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Graphviz DOT export; when `edge_color` is non-null (size m), edges are
+/// annotated with their color for small-graph visual inspection.
+std::string to_dot(const Graph& g, const std::vector<Color>* edge_color = nullptr);
+
+}  // namespace dec

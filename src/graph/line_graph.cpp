@@ -1,0 +1,25 @@
+#include "graph/line_graph.hpp"
+
+#include <vector>
+
+namespace dec {
+
+Graph line_graph(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // For each node, all pairs of incident edges are adjacent in L(G). A pair
+  // of edges sharing two nodes would be parallel, which Graph forbids, so
+  // each L(G)-edge is produced exactly once.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto inc = g.neighbors(v);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      for (std::size_t j = i + 1; j < inc.size(); ++j) {
+        NodeId a = inc[i].edge, b = inc[j].edge;
+        if (a > b) std::swap(a, b);
+        edges.emplace_back(a, b);
+      }
+    }
+  }
+  return Graph(g.num_edges(), std::move(edges));
+}
+
+}  // namespace dec

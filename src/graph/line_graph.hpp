@@ -1,0 +1,17 @@
+// Line-graph construction.
+//
+// The paper treats edge coloring of G as vertex coloring of the line graph
+// L(G); the explicit construction is used by tests (cross-checking edge-
+// degree formulas and running vertex algorithms on L(G) directly) and by the
+// Linial-on-edges subroutine validation.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dec {
+
+/// L(G): one node per edge of g; two nodes adjacent iff the edges share an
+/// endpoint. Node i of the result corresponds to edge id i of g.
+Graph line_graph(const Graph& g);
+
+}  // namespace dec

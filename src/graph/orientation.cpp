@@ -1,0 +1,47 @@
+#include "graph/orientation.hpp"
+
+namespace dec {
+
+Orientation::Orientation(const Graph& g)
+    : g_(&g),
+      head_(static_cast<std::size_t>(g.num_edges()), kInvalidNode),
+      indeg_(static_cast<std::size_t>(g.num_nodes()), 0) {}
+
+NodeId Orientation::tail(EdgeId e) const {
+  const NodeId h = head(e);
+  return g_->other_endpoint(e, h);
+}
+
+void Orientation::orient_towards(EdgeId e, NodeId to) {
+  DEC_REQUIRE(!oriented(e), "edge already oriented");
+  const auto [a, b] = g_->endpoints(e);
+  DEC_REQUIRE(to == a || to == b, "node is not an endpoint of edge");
+  head_[static_cast<std::size_t>(e)] = to;
+  ++indeg_[static_cast<std::size_t>(to)];
+  ++num_oriented_;
+}
+
+void Orientation::flip(EdgeId e) {
+  const NodeId old_head = head(e);
+  const NodeId new_head = g_->other_endpoint(e, old_head);
+  head_[static_cast<std::size_t>(e)] = new_head;
+  --indeg_[static_cast<std::size_t>(old_head)];
+  ++indeg_[static_cast<std::size_t>(new_head)];
+}
+
+void Orientation::validate() const {
+  std::vector<int> fresh(static_cast<std::size_t>(g_->num_nodes()), 0);
+  EdgeId count = 0;
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (!oriented(e)) continue;
+    ++count;
+    ++fresh[static_cast<std::size_t>(head(e))];
+  }
+  DEC_CHECK(count == num_oriented_, "oriented-edge count drifted");
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    DEC_CHECK(fresh[static_cast<std::size_t>(v)] == indegree(v),
+              "cached indegree drifted");
+  }
+}
+
+}  // namespace dec

@@ -1,0 +1,61 @@
+// Per-edge orientation state over an undirected Graph (paper §5).
+//
+// The balanced-orientation algorithm incrementally orients edges and flips
+// them during token dropping; x_v ("number of edges oriented towards v") is
+// the quantity all of Definition 5.2's inequalities are about, so we maintain
+// it incrementally and can re-derive it from scratch for validation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dec {
+
+class Orientation {
+ public:
+  explicit Orientation(const Graph& g);
+
+  /// Is edge e oriented yet?
+  bool oriented(EdgeId e) const {
+    return head_[static_cast<std::size_t>(e)] != kInvalidNode;
+  }
+
+  /// Head of edge e (the node it points to). Requires oriented(e).
+  NodeId head(EdgeId e) const {
+    DEC_REQUIRE(oriented(e), "edge is not oriented");
+    return head_[static_cast<std::size_t>(e)];
+  }
+
+  /// Tail of edge e. Requires oriented(e).
+  NodeId tail(EdgeId e) const;
+
+  /// Orient e towards `to` (must be an endpoint). Requires !oriented(e).
+  void orient_towards(EdgeId e, NodeId to);
+
+  /// Reverse the orientation of e. Requires oriented(e).
+  void flip(EdgeId e);
+
+  /// x_v: number of incident edges currently oriented towards v.
+  int indegree(NodeId v) const {
+    DEC_REQUIRE(v >= 0 && v < g_->num_nodes(), "node out of range");
+    return indeg_[static_cast<std::size_t>(v)];
+  }
+
+  /// Count of edges oriented so far.
+  EdgeId num_oriented() const { return num_oriented_; }
+
+  /// Recompute all indegrees from edge state and compare with the cached
+  /// values; throws on mismatch. Used by tests and debug audits.
+  void validate() const;
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+  std::vector<NodeId> head_;  // kInvalidNode = unoriented
+  std::vector<int> indeg_;
+  EdgeId num_oriented_ = 0;
+};
+
+}  // namespace dec

@@ -1,0 +1,145 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dec {
+
+bool is_proper_vertex_coloring(const Graph& g, const std::vector<Color>& color) {
+  DEC_REQUIRE(color.size() == static_cast<std::size_t>(g.num_nodes()),
+              "color vector has wrong length");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const Color cu = color[static_cast<std::size_t>(u)];
+    const Color cv = color[static_cast<std::size_t>(v)];
+    if (cu != kUncolored && cu == cv) return false;
+  }
+  return true;
+}
+
+bool is_complete_proper_vertex_coloring(const Graph& g,
+                                        const std::vector<Color>& color) {
+  for (const Color c : color) {
+    if (c == kUncolored) return false;
+  }
+  return is_proper_vertex_coloring(g, color);
+}
+
+bool is_proper_edge_coloring(const Graph& g, const std::vector<Color>& color) {
+  DEC_REQUIRE(color.size() == static_cast<std::size_t>(g.num_edges()),
+              "color vector has wrong length");
+  // Two edges are adjacent iff they share a node; check per node.
+  std::unordered_set<Color> seen;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    seen.clear();
+    for (const Incidence& inc : g.neighbors(v)) {
+      const Color c = color[static_cast<std::size_t>(inc.edge)];
+      if (c == kUncolored) continue;
+      if (!seen.insert(c).second) return false;
+    }
+  }
+  return true;
+}
+
+bool is_complete_proper_edge_coloring(const Graph& g,
+                                      const std::vector<Color>& color) {
+  for (const Color c : color) {
+    if (c == kUncolored) return false;
+  }
+  return is_proper_edge_coloring(g, color);
+}
+
+std::vector<int> vertex_defects(const Graph& g, const std::vector<Color>& color) {
+  DEC_REQUIRE(color.size() == static_cast<std::size_t>(g.num_nodes()),
+              "color vector has wrong length");
+  std::vector<int> defect(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const Color cu = color[static_cast<std::size_t>(u)];
+    const Color cv = color[static_cast<std::size_t>(v)];
+    if (cu != kUncolored && cu == cv) {
+      ++defect[static_cast<std::size_t>(u)];
+      ++defect[static_cast<std::size_t>(v)];
+    }
+  }
+  return defect;
+}
+
+std::vector<int> edge_defects(const Graph& g, const std::vector<Color>& color) {
+  DEC_REQUIRE(color.size() == static_cast<std::size_t>(g.num_edges()),
+              "color vector has wrong length");
+  std::vector<int> defect(static_cast<std::size_t>(g.num_edges()), 0);
+  // For each node, group incident edges by color; every pair of same-colored
+  // incident edges contributes one defect unit to each member.
+  std::vector<std::pair<Color, EdgeId>> bucket;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bucket.clear();
+    for (const Incidence& inc : g.neighbors(v)) {
+      const Color c = color[static_cast<std::size_t>(inc.edge)];
+      if (c != kUncolored) bucket.emplace_back(c, inc.edge);
+    }
+    std::sort(bucket.begin(), bucket.end());
+    for (std::size_t i = 0; i < bucket.size();) {
+      std::size_t j = i;
+      while (j < bucket.size() && bucket[j].first == bucket[i].first) ++j;
+      const int same = static_cast<int>(j - i);
+      if (same > 1) {
+        for (std::size_t k = i; k < j; ++k) {
+          defect[static_cast<std::size_t>(bucket[k].second)] += same - 1;
+        }
+      }
+      i = j;
+    }
+  }
+  return defect;
+}
+
+int count_colors(const std::vector<Color>& color) {
+  std::unordered_set<Color> distinct;
+  for (const Color c : color) {
+    if (c != kUncolored) distinct.insert(c);
+  }
+  return static_cast<int>(distinct.size());
+}
+
+int palette_size(const std::vector<Color>& color) {
+  Color max_c = -1;
+  for (const Color c : color) max_c = std::max(max_c, c);
+  return static_cast<int>(max_c + 1);
+}
+
+std::int64_t count_uncolored(const std::vector<Color>& color) {
+  std::int64_t k = 0;
+  for (const Color c : color) {
+    if (c == kUncolored) ++k;
+  }
+  return k;
+}
+
+std::vector<int> uncolored_degrees(const Graph& g,
+                                   const std::vector<Color>& color) {
+  DEC_REQUIRE(color.size() == static_cast<std::size_t>(g.num_edges()),
+              "color vector has wrong length");
+  std::vector<int> ud(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (color[static_cast<std::size_t>(e)] != kUncolored) continue;
+    const auto [u, v] = g.endpoints(e);
+    ++ud[static_cast<std::size_t>(u)];
+    ++ud[static_cast<std::size_t>(v)];
+  }
+  return ud;
+}
+
+int max_uncolored_edge_degree(const Graph& g, const std::vector<Color>& color) {
+  const std::vector<int> ud = uncolored_degrees(g, color);
+  int best = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (color[static_cast<std::size_t>(e)] != kUncolored) continue;
+    const auto [u, v] = g.endpoints(e);
+    best = std::max(best, ud[static_cast<std::size_t>(u)] +
+                              ud[static_cast<std::size_t>(v)] - 2);
+  }
+  return best;
+}
+
+}  // namespace dec

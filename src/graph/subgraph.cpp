@@ -1,0 +1,33 @@
+#include "graph/subgraph.hpp"
+
+namespace dec {
+
+EdgeSubgraph edge_subgraph(const Graph& g, const std::vector<bool>& take) {
+  DEC_REQUIRE(take.size() == static_cast<std::size_t>(g.num_edges()),
+              "take mask has wrong length");
+  EdgeSubgraph s;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (take[static_cast<std::size_t>(e)]) {
+      s.members.push_back(e);
+      edges.push_back(g.endpoints(e));
+    }
+  }
+  s.graph = Graph(g.num_nodes(), std::move(edges));
+  return s;
+}
+
+EdgeSubgraph edge_subgraph(const Graph& g, const std::vector<EdgeId>& list) {
+  EdgeSubgraph s;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(list.size());
+  for (const EdgeId e : list) {
+    DEC_REQUIRE(e >= 0 && e < g.num_edges(), "edge id out of range");
+    s.members.push_back(e);
+    edges.push_back(g.endpoints(e));
+  }
+  s.graph = Graph(g.num_nodes(), std::move(edges));
+  return s;
+}
+
+}  // namespace dec

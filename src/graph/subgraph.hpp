@@ -1,0 +1,37 @@
+// Edge-induced subgraphs over the original node-id space.
+//
+// The recursive algorithms repeatedly carve the current uncolored / same-part
+// edge set into a subgraph while keeping node ids (so bipartitions and vertex
+// colorings carry over) and remembering which original edge each subgraph
+// edge is (so colors can be written back).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dec {
+
+struct EdgeSubgraph {
+  Graph graph;                  // same node-id space as the parent
+  std::vector<EdgeId> members;  // subgraph edge i == parent edge members[i]
+};
+
+/// Subgraph of the edges with take[e] == true.
+EdgeSubgraph edge_subgraph(const Graph& g, const std::vector<bool>& take);
+
+/// Subgraph of an explicit edge-id list (order preserved).
+EdgeSubgraph edge_subgraph(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// Scatter per-subgraph-edge values back into a parent-indexed vector.
+template <typename T>
+void scatter_to_parent(const EdgeSubgraph& sub, const std::vector<T>& values,
+                       std::vector<T>& parent) {
+  DEC_REQUIRE(values.size() == sub.members.size(),
+              "value vector length must match the subgraph edge count");
+  for (std::size_t i = 0; i < sub.members.size(); ++i) {
+    parent[static_cast<std::size_t>(sub.members[i])] = values[i];
+  }
+}
+
+}  // namespace dec

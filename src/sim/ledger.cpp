@@ -1,0 +1,46 @@
+#include "sim/ledger.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logstar.hpp"
+
+namespace dec {
+
+void RoundLedger::charge(const std::string& component, std::int64_t rounds) {
+  DEC_REQUIRE(rounds >= 0, "cannot charge negative rounds");
+  total_ += rounds;
+  by_component_[component] += rounds;
+}
+
+void RoundLedger::charge_log_star(std::int64_t n, const std::string& component) {
+  DEC_REQUIRE(n >= 0, "negative n");
+  charge(component, log_star(static_cast<double>(n)));
+}
+
+std::int64_t RoundLedger::component(const std::string& name) const {
+  const auto it = by_component_.find(name);
+  return it == by_component_.end() ? 0 : it->second;
+}
+
+std::string RoundLedger::report() const {
+  std::ostringstream os;
+  os << "rounds total = " << total_ << '\n';
+  for (const auto& [name, rounds] : by_component_) {
+    os << "  " << name << " = " << rounds << '\n';
+  }
+  return os.str();
+}
+
+void RoundLedger::merge(const RoundLedger& other) {
+  for (const auto& [name, rounds] : other.by_component_) {
+    charge(name, rounds);
+  }
+}
+
+void RoundLedger::reset() {
+  total_ = 0;
+  by_component_.clear();
+}
+
+}  // namespace dec

@@ -1,0 +1,50 @@
+// Round accounting for the LOCAL / CONGEST model simulation.
+//
+// The scientifically meaningful output of every algorithm in this library is
+// its round count. Message-passing code running on SyncNetwork charges the
+// ledger automatically; phase-orchestrated code charges it explicitly with
+// the per-phase costs dictated by the paper. Charges are named, so the bench
+// harness can report per-component breakdowns (e.g. "token_dropping" vs.
+// "final_greedy" vs. "log*" terms).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dec {
+
+class RoundLedger {
+ public:
+  /// Add `rounds` rounds attributed to `component`.
+  void charge(const std::string& component, std::int64_t rounds);
+
+  /// Charge the O(log* n) term for an initial-symmetry-breaking step; adds
+  /// log*(n) rounds under the given component name (default "log*").
+  void charge_log_star(std::int64_t n, const std::string& component = "log*");
+
+  /// Total rounds across all components.
+  std::int64_t total() const { return total_; }
+
+  /// Rounds attributed to one component (0 if never charged).
+  std::int64_t component(const std::string& name) const;
+
+  /// All components and their charges, sorted by name.
+  const std::map<std::string, std::int64_t>& breakdown() const {
+    return by_component_;
+  }
+
+  /// Human-readable multi-line report.
+  std::string report() const;
+
+  /// Fold another ledger's charges into this one (component-wise).
+  void merge(const RoundLedger& other);
+
+  void reset();
+
+ private:
+  std::int64_t total_ = 0;
+  std::map<std::string, std::int64_t> by_component_;
+};
+
+}  // namespace dec

@@ -1,0 +1,33 @@
+#include "sim/message.hpp"
+
+#include <bit>
+
+namespace dec {
+
+int field_bits(std::int64_t v) {
+  const std::uint64_t mag =
+      v >= 0 ? static_cast<std::uint64_t>(v)
+             : static_cast<std::uint64_t>(-(v + 1));  // |v|-1 for negatives
+  const int mag_bits = mag == 0 ? 1 : 64 - std::countl_zero(mag);
+  return mag_bits + 1;  // + sign bit
+}
+
+int message_bits(const Message& m) {
+  int total = 0;
+  for (const std::int64_t v : m.fields) total += field_bits(v);
+  return total;
+}
+
+void CongestAudit::observe(const Message& m) {
+  if (m.empty()) return;
+  ++messages_;
+  const int bits = message_bits(m);
+  if (bits > max_bits_) max_bits_ = bits;
+}
+
+void CongestAudit::reset() {
+  max_bits_ = 0;
+  messages_ = 0;
+}
+
+}  // namespace dec

@@ -1,0 +1,48 @@
+// Messages exchanged over SyncNetwork, with semantic bit accounting.
+//
+// CONGEST requires O(log n)-bit messages. We measure the information content
+// of every message as the sum of the minimal two's-complement widths of its
+// integer fields; the per-round maximum feeds the CongestAudit so that
+// Theorem 1.2's bandwidth claim can be checked empirically (EXP-J).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dec {
+
+struct Message {
+  std::vector<std::int64_t> fields;
+
+  Message() = default;
+  explicit Message(std::initializer_list<std::int64_t> init) : fields(init) {}
+
+  bool empty() const { return fields.empty(); }
+  void clear() { fields.clear(); }
+  void push(std::int64_t v) { fields.push_back(v); }
+
+  std::int64_t at(std::size_t i) const { return fields.at(i); }
+  std::size_t size() const { return fields.size(); }
+};
+
+/// Minimal bit width of one signed field (sign bit + magnitude bits).
+int field_bits(std::int64_t v);
+
+/// Total semantic bit width of a message (0 for the empty message, which
+/// models "send nothing").
+int message_bits(const Message& m);
+
+/// Tracks the maximum message width seen, per run.
+class CongestAudit {
+ public:
+  void observe(const Message& m);
+  int max_bits() const { return max_bits_; }
+  std::int64_t messages_sent() const { return messages_; }
+  void reset();
+
+ private:
+  int max_bits_ = 0;
+  std::int64_t messages_ = 0;
+};
+
+}  // namespace dec

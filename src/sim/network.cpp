@@ -1,0 +1,59 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+namespace dec {
+
+SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
+                         std::string component)
+    : g_(&g), ledger_(ledger), component_(std::move(component)) {
+  offsets_.assign(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] + g.neighbors(v).size();
+  }
+  const std::size_t slots = offsets_.back();
+  inbox_.assign(slots, Message{});
+  outbox_.assign(slots, Message{});
+
+  // Where does the message written at slot (v, i) arrive? At the slot of the
+  // same edge in the neighbor's adjacency. Pair up the two slots per edge.
+  peer_slot_.assign(slots, 0);
+  std::vector<std::size_t> first_slot_of_edge(
+      static_cast<std::size_t>(g.num_edges()), static_cast<std::size_t>(-1));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const std::size_t slot = offsets_[static_cast<std::size_t>(v)] + i;
+      auto& first = first_slot_of_edge[static_cast<std::size_t>(nb[i].edge)];
+      if (first == static_cast<std::size_t>(-1)) {
+        first = slot;
+      } else {
+        peer_slot_[slot] = first;
+        peer_slot_[first] = slot;
+      }
+    }
+  }
+}
+
+void SyncNetwork::round(const StepFn& fn) {
+  for (auto& m : outbox_) m.clear();
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
+    const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
+    fn(v, std::span<const Message>(inbox_.data() + lo, deg),
+       std::span<Message>(outbox_.data() + lo, deg));
+  }
+  // Deliver: outbox slot (v,i) -> inbox slot of the peer endpoint.
+  for (auto& m : inbox_) m.clear();
+  for (std::size_t slot = 0; slot < outbox_.size(); ++slot) {
+    audit_.observe(outbox_[slot]);
+    if (!outbox_[slot].empty()) {
+      inbox_[peer_slot_[slot]] = std::move(outbox_[slot]);
+    }
+  }
+  ++rounds_;
+  if (ledger_ != nullptr) ledger_->charge(component_, 1);
+}
+
+}  // namespace dec

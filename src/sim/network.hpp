@@ -1,0 +1,59 @@
+// Synchronous message-passing network over an undirected Graph.
+//
+// This is the LOCAL / CONGEST model: computation proceeds in rounds; in each
+// round every node reads the messages its neighbors sent in the previous
+// round, computes, and writes one (possibly empty) message per incident
+// edge. The simulator executes nodes in id order within a round, but node
+// callbacks only ever see last-round messages plus their own state, so the
+// execution is equivalent to a fully parallel round.
+//
+// Inbox/outbox slots are indexed parallel to Graph::neighbors(v): slot i of
+// node v corresponds to the edge g.neighbors(v)[i].
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/ledger.hpp"
+#include "sim/message.hpp"
+
+namespace dec {
+
+class SyncNetwork {
+ public:
+  /// `component` names the ledger line that rounds are charged to; `ledger`
+  /// may be null (rounds still counted locally).
+  explicit SyncNetwork(const Graph& g, RoundLedger* ledger = nullptr,
+                       std::string component = "network");
+
+  /// Node program for one round: read `inbox`, fill `outbox` (both sized
+  /// degree(v), outbox pre-cleared to empty messages).
+  using StepFn = std::function<void(NodeId v, std::span<const Message> inbox,
+                                    std::span<Message> outbox)>;
+
+  /// Execute one synchronous round and charge it to the ledger.
+  void round(const StepFn& fn);
+
+  /// Rounds executed so far on this network.
+  std::int64_t rounds_executed() const { return rounds_; }
+
+  const CongestAudit& audit() const { return audit_; }
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+  RoundLedger* ledger_;
+  std::string component_;
+  std::int64_t rounds_ = 0;
+  CongestAudit audit_;
+
+  // CSR-slot message buffers: slot = offsets_[v] + i for incidence i of v.
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> peer_slot_;  // where slot (v,i)'s message lands
+  std::vector<Message> inbox_, outbox_;
+};
+
+}  // namespace dec

@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace dec::detail {
+
+void check_failed(const char* kind, const char* cond, const char* file,
+                  int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << kind << " violated: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace dec::detail

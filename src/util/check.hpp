@@ -1,0 +1,45 @@
+// Error handling primitives for the dec-polylog library.
+//
+// The library is exception-based: violated preconditions and broken internal
+// invariants throw dec::CheckError with a formatted location + message. This
+// keeps algorithm code assert-dense without ever aborting the host process,
+// which matters for the simulator (a failed run must be reportable).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dec {
+
+/// Thrown when a DEC_CHECK / DEC_REQUIRE condition fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* kind, const char* cond,
+                               const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace dec
+
+/// Internal invariant; always on (the algorithms are the product here, and the
+/// cost of the checks is negligible next to the simulation itself).
+#define DEC_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dec::detail::check_failed("invariant", #cond, __FILE__, __LINE__,  \
+                                  (msg));                                  \
+    }                                                                      \
+  } while (0)
+
+/// Public API precondition.
+#define DEC_REQUIRE(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::dec::detail::check_failed("precondition", #cond, __FILE__, __LINE__,  \
+                                  (msg));                                     \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,29 @@
+#include "util/logstar.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dec {
+
+int ceil_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return 64 - std::countl_zero(x - 1);
+}
+
+int floor_log2(std::uint64_t x) {
+  DEC_REQUIRE(x >= 1, "floor_log2 needs x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+int log_star(double x) {
+  int k = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace dec

@@ -1,0 +1,20 @@
+// log*, iterated-logarithm helpers.
+//
+// The paper's complexities are of the form poly log Δ + O(log* n); the round
+// ledger and several algorithms need log* and ceil-log2 explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace dec {
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1.
+int ceil_log2(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1. Requires x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// Iterated logarithm: number of times log2 must be applied to reach <= 1.
+int log_star(double x);
+
+}  // namespace dec

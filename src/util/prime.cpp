@@ -1,0 +1,80 @@
+#include "util/prime.hpp"
+
+#include <array>
+
+#ifdef __SIZEOF_INT128__
+using uint128 = unsigned __int128;
+#endif
+
+namespace dec {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+#ifdef __SIZEOF_INT128__
+  return static_cast<std::uint64_t>((uint128(a) * b) % m);
+#else
+  // Russian-peasant fallback.
+  std::uint64_t r = 0;
+  a %= m;
+  while (b) {
+    if (b & 1) {
+      r += a;
+      if (r >= m) r -= m;
+    }
+    a <<= 1;
+    if (a >= m) a -= m;
+    b >>= 1;
+  }
+  return r;
+#endif
+}
+
+std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e) {
+    if (e & 1) r = mul_mod(r, a, m);
+    a = mul_mod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is exact for all 64-bit integers (Sinclair 2011).
+  for (std::uint64_t a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL,
+                          9780504ULL, 1795265022ULL}) {
+    std::uint64_t x = pow_mod(a % n, d, n);
+    if (x == 0 || x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 1; i < s; ++i) {
+      x = mul_mod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  if (n <= 2) return 2;
+  std::uint64_t c = n | 1;  // first odd >= n
+  if (c < n) c = n;         // overflow guard (unreachable for sane inputs)
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+}  // namespace dec

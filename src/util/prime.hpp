@@ -1,0 +1,24 @@
+// Prime-number helpers for the algebraic coloring constructions.
+//
+// Linial's O(Δ²)-coloring and the arithmetic-progression color reduction both
+// work over a prime field GF(q); they need "smallest prime ≥ x" for x up to a
+// few million, which deterministic Miller–Rabin covers comfortably.
+#pragma once
+
+#include <cstdint>
+
+namespace dec {
+
+/// Deterministic Miller–Rabin primality test, exact for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n >= 0; returns 2 for n <= 2).
+std::uint64_t next_prime(std::uint64_t n);
+
+/// (a * b) mod m without overflow.
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// (a ^ e) mod m.
+std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e, std::uint64_t m);
+
+}  // namespace dec

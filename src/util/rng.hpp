@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through dec::Rng so that every
+// experiment, test, and example is exactly reproducible from a seed. The
+// engine is xoshiro256** seeded via SplitMix64, which is fast, has a long
+// period, and is trivially portable (no libstdc++ distribution differences).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dec {
+
+/// SplitMix64 step; used for seeding and as a cheap hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** deterministic generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool next_bool(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-module streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dec

@@ -1,0 +1,46 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+namespace {
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  s.p50 = percentile(values, 0.50);
+  s.p95 = percentile(values, 0.95);
+  s.p99 = percentile(values, 0.99);
+  return s;
+}
+
+Summary summarize_ints(const std::vector<std::int64_t>& values) {
+  std::vector<double> d(values.begin(), values.end());
+  return summarize(std::move(d));
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (x > max_) max_ = x;
+  if (x < min_) min_ = x;
+}
+
+}  // namespace dec

@@ -1,0 +1,44 @@
+// Small online/offline statistics used by the benchmark harness to report
+// distributions (defects, slacks, palette usage) the way the paper's bounds
+// are stated: maxima with mean/percentile context.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dec {
+
+/// Summary of a sample of values.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a Summary of `values` (copies and sorts internally).
+Summary summarize(std::vector<double> values);
+
+/// Convenience overload for integral samples.
+Summary summarize_ints(const std::vector<std::int64_t>& values);
+
+/// Accumulator for streaming max/mean without storing the sample.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double max() const { return max_; }
+  double min() const { return min_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double max_ = -1.7976931348623157e308;
+  double min_ = 1.7976931348623157e308;
+};
+
+}  // namespace dec

@@ -1,0 +1,40 @@
+// Fixed-width table printer for the benchmark harness.
+//
+// Every EXP-* bench binary prints its result as a titled, aligned table with
+// one row per parameter point, mirroring how a systems paper presents its
+// evaluation. Cells are strings; helpers format numbers consistently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dec {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Append one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns, title, and rule lines.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_int(std::int64_t v);
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_ratio(double num, double den, int precision = 3);
+std::string fmt_bool(bool v);
+
+}  // namespace dec

@@ -1,0 +1,143 @@
+// Tests for the generalized balanced edge orientation (paper §5).
+#include <gtest/gtest.h>
+
+#include "core/balanced_orientation.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+std::vector<double> zero_eta(const Graph& g) {
+  return std::vector<double>(static_cast<std::size_t>(g.num_edges()), 0.0);
+}
+
+TEST(BalancedOrientation, OrientsEveryEdge) {
+  const auto bg = gen::regular_bipartite(64, 8);
+  OrientationParams p;
+  p.nu = 0.125;
+  const auto r = balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p);
+  EXPECT_EQ(r.orientation.num_oriented(), bg.graph.num_edges());
+  r.orientation.validate();
+}
+
+TEST(BalancedOrientation, RegularGraphIsNearlyBalanced) {
+  // With η = 0 on a d-regular bipartite graph, a perfect orientation gives
+  // every node indegree d/2; the guarantee allows (ε/2)·deg(e) + β slack.
+  const int d = 16;
+  const auto bg = gen::regular_bipartite(128, d);
+  OrientationParams p;
+  p.nu = 0.125;  // ε = 1
+  const auto r = balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p);
+  const double eps = eps_from_nu(p.nu);
+  const double dbar = 2.0 * d - 2.0;
+  for (NodeId v = 0; v < bg.graph.num_nodes(); ++v) {
+    const double dev =
+        std::abs(r.orientation.indegree(v) - d / 2.0);
+    EXPECT_LE(dev, (eps / 2.0) * dbar + 24.0) << "node " << v;
+  }
+}
+
+TEST(BalancedOrientation, MaxExcessMatchesAudit) {
+  const auto bg = gen::regular_bipartite(64, 12);
+  OrientationParams p;
+  p.nu = 0.0625;
+  const auto r = balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p);
+  const double recomputed = orientation_max_excess(
+      bg.graph, bg.parts, zero_eta(bg.graph), r.orientation,
+      eps_from_nu(p.nu));
+  EXPECT_DOUBLE_EQ(r.max_excess, recomputed);
+}
+
+TEST(BalancedOrientation, EtaShiftsTheBalancePoint) {
+  // Large positive η on every edge (u→v tolerated even when x_v ≫ x_u)
+  // lets everything orient towards V; large negative η pushes towards U.
+  const auto bg = gen::regular_bipartite(32, 6);
+  OrientationParams p;
+  p.nu = 0.125;
+  std::vector<double> eta_pos(static_cast<std::size_t>(bg.graph.num_edges()),
+                              1e6);
+  const auto r_pos =
+      balanced_orientation(bg.graph, bg.parts, eta_pos, p);
+  std::int64_t to_v = 0;
+  for (EdgeId e = 0; e < bg.graph.num_edges(); ++e) {
+    if (bg.parts.in_v(r_pos.orientation.head(e))) ++to_v;
+  }
+  // All proposals go to V; per-phase acceptance caps k_φ and the leftover
+  // pass keep a small fraction on the other side.
+  EXPECT_GT(to_v, bg.graph.num_edges() * 8 / 10);
+
+  std::vector<double> eta_neg(static_cast<std::size_t>(bg.graph.num_edges()),
+                              -1e6);
+  const auto r_neg = balanced_orientation(bg.graph, bg.parts, eta_neg, p);
+  std::int64_t to_u = 0;
+  for (EdgeId e = 0; e < bg.graph.num_edges(); ++e) {
+    if (bg.parts.in_u(r_neg.orientation.head(e))) ++to_u;
+  }
+  EXPECT_GT(to_u, bg.graph.num_edges() * 8 / 10);
+}
+
+TEST(BalancedOrientation, IrregularGraphStillBounded) {
+  Rng rng(70);
+  const auto bg = gen::random_bipartite(80, 80, 0.15, rng);
+  if (bg.graph.num_edges() == 0) GTEST_SKIP();
+  OrientationParams p;
+  p.nu = 0.125;
+  const auto r = balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p);
+  EXPECT_EQ(r.orientation.num_oriented(), bg.graph.num_edges());
+  // Practical-mode additive error stays small relative to Δ̄ (EXP-B).
+  EXPECT_LE(r.max_excess, 2.0 * bg.graph.max_edge_degree() + 30.0);
+}
+
+TEST(BalancedOrientation, TheoryModeRuns) {
+  const auto bg = gen::regular_bipartite(48, 8);
+  OrientationParams p;
+  p.nu = 0.125;
+  p.mode = ParamMode::kTheory;
+  const auto r = balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p);
+  EXPECT_EQ(r.orientation.num_oriented(), bg.graph.num_edges());
+}
+
+TEST(BalancedOrientation, RejectsBadInputs) {
+  const auto bg = gen::regular_bipartite(8, 2);
+  OrientationParams p;
+  p.nu = 0.2;  // > 1/8 violates Eq. (4)
+  EXPECT_THROW(
+      balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p),
+      CheckError);
+  p.nu = 0.125;
+  std::vector<double> short_eta(3, 0.0);
+  EXPECT_THROW(balanced_orientation(bg.graph, bg.parts, short_eta, p),
+               CheckError);
+}
+
+TEST(BalancedOrientation, EmptyAndMatchingGraphs) {
+  const auto empty = gen::regular_bipartite(4, 0);
+  OrientationParams p;
+  p.nu = 0.125;
+  const auto r0 =
+      balanced_orientation(empty.graph, empty.parts, zero_eta(empty.graph), p);
+  EXPECT_EQ(r0.orientation.num_oriented(), 0);
+
+  const auto matching = gen::regular_bipartite(6, 1);
+  const auto r1 = balanced_orientation(matching.graph, matching.parts,
+                                       zero_eta(matching.graph), p);
+  EXPECT_EQ(r1.orientation.num_oriented(), matching.graph.num_edges());
+}
+
+TEST(BalancedOrientation, NuControlsPhases) {
+  const auto bg = gen::regular_bipartite(96, 12);
+  std::int64_t prev_phases = -1;
+  for (const double nu : {0.125, 0.0625, 0.03125}) {
+    OrientationParams p;
+    p.nu = nu;
+    const auto r =
+        balanced_orientation(bg.graph, bg.parts, zero_eta(bg.graph), p);
+    if (prev_phases >= 0) {
+      EXPECT_GE(r.phases, prev_phases);
+    }
+    prev_phases = r.phases;
+  }
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,73 @@
+// Tests for the baseline edge coloring algorithms.
+#include <gtest/gtest.h>
+
+#include "coloring/baselines.hpp"
+#include "graph/generators.hpp"
+#include "util/logstar.hpp"
+
+namespace dec {
+namespace {
+
+TEST(Baselines, Fast2DeltaProperAndTight) {
+  Rng rng(130);
+  for (const int d : {4, 8, 16}) {
+    const Graph g = gen::random_regular(30 * d, d, rng);
+    const auto r = edge_color_fast_2delta(g);
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+    EXPECT_EQ(r.palette, 2 * d - 1);
+  }
+}
+
+TEST(Baselines, Fast2DeltaRoundsLinearInDelta) {
+  Rng rng(131);
+  for (const int d : {8, 16, 32}) {
+    const Graph g = gen::random_regular(10 * d, d, rng);
+    const auto r = edge_color_fast_2delta(g);
+    // O(Δ̄ + log* m): ap phase <= q ~ 4Δ + greedy reduce ~ 2Δ.
+    EXPECT_LE(r.rounds, 16 * d + 60) << "d=" << d;
+  }
+}
+
+TEST(Baselines, QuadraticGreedyProper) {
+  Rng rng(132);
+  const Graph g = gen::random_regular(120, 6, rng);
+  const auto r = edge_color_greedy_quadratic(g);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  EXPECT_EQ(r.palette, 2 * 6 - 1);
+}
+
+TEST(Baselines, LubyProperAndFast) {
+  Rng rng(133);
+  const Graph g = gen::random_regular(400, 10, rng);
+  Rng colors_rng(5);
+  const auto r = edge_color_luby(g, colors_rng);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  EXPECT_EQ(r.palette, 2 * 10 - 1);
+  // O(log m) w.h.p.; generous cap.
+  EXPECT_LE(r.rounds, 8 * ceil_log2(static_cast<std::uint64_t>(g.num_edges())));
+}
+
+TEST(Baselines, EdgeCases) {
+  const auto r0 = edge_color_fast_2delta(gen::empty(3));
+  EXPECT_TRUE(r0.colors.empty());
+  const Graph matching(4, {{0, 1}, {2, 3}});
+  const auto r1 = edge_color_fast_2delta(matching);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(matching, r1.colors));
+  EXPECT_EQ(r1.palette, 1);
+  Rng rng(134);
+  const auto r2 = edge_color_luby(gen::star(5), rng);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(gen::star(5), r2.colors));
+}
+
+TEST(Baselines, LedgerAccounting) {
+  Rng rng(135);
+  const Graph g = gen::random_regular(80, 6, rng);
+  RoundLedger ledger;
+  const auto r = edge_color_fast_2delta(g, &ledger);
+  EXPECT_EQ(ledger.total(), r.rounds);
+  EXPECT_GT(ledger.component("ap_reduce"), 0);
+  EXPECT_GT(ledger.component("linial"), 0);
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,110 @@
+// Tests for the arithmetic-progression and greedy color reductions.
+#include <gtest/gtest.h>
+
+#include "coloring/color_reduction.hpp"
+#include "coloring/linial.hpp"
+#include "graph/generators.hpp"
+#include "util/prime.hpp"
+
+namespace dec {
+namespace {
+
+std::vector<Color> spread_coloring(const Graph& g, std::int64_t q) {
+  // A proper coloring inside [0, q²) obtained from Linial (palette <= q² for
+  // q >= 2Δ+2 as the pipeline guarantees).
+  const LinialResult lin = linial_color(g);
+  EXPECT_LE(lin.palette, q * q);
+  return lin.colors;
+}
+
+TEST(ApReduce, ReducesToQColors) {
+  Rng rng(20);
+  const Graph g = gen::random_regular(300, 6, rng);
+  const std::int64_t q =
+      static_cast<std::int64_t>(next_prime(static_cast<std::uint64_t>(2 * 6 + 2)));
+  const ReductionResult r = ap_reduce(g, spread_coloring(g, q), q);
+  EXPECT_TRUE(is_complete_proper_vertex_coloring(g, r.colors));
+  for (const Color c : r.colors) EXPECT_LT(c, q);
+  EXPECT_LE(r.rounds, q);
+}
+
+TEST(ApReduce, RejectsBadParameters) {
+  const Graph g = gen::cycle(10);
+  EXPECT_THROW(ap_reduce(g, std::vector<Color>(10, 0), 7), CheckError);  // improper
+  std::vector<Color> proper(10);
+  for (int i = 0; i < 10; ++i) proper[static_cast<std::size_t>(i)] = i % 2;
+  EXPECT_THROW(ap_reduce(g, proper, 8), CheckError);   // not prime
+  EXPECT_THROW(ap_reduce(g, proper, 5), CheckError);   // q < 2Δ+2
+  std::vector<Color> big = proper;
+  big[0] = 48;  // within q²=49 is fine; 50 is not
+  big[0] = 50;
+  EXPECT_THROW(ap_reduce(g, big, 7), CheckError);
+}
+
+TEST(ApReduce, WorksOnDenseGraph) {
+  const Graph g = gen::complete(12);
+  const std::int64_t q = static_cast<std::int64_t>(
+      next_prime(static_cast<std::uint64_t>(2 * g.max_degree() + 2)));
+  std::vector<Color> init(12);
+  for (int i = 0; i < 12; ++i) init[static_cast<std::size_t>(i)] = i;
+  const ReductionResult r = ap_reduce(g, init, q);
+  EXPECT_TRUE(is_complete_proper_vertex_coloring(g, r.colors));
+  for (const Color c : r.colors) EXPECT_LT(c, q);
+}
+
+TEST(GreedyReduce, HitsDeltaPlusOne) {
+  Rng rng(21);
+  const Graph g = gen::gnp(120, 0.08, rng);
+  const LinialResult lin = linial_color(g);
+  const int target = g.max_degree() + 1;
+  const ReductionResult r = greedy_reduce(g, lin.colors, lin.palette, target);
+  EXPECT_TRUE(is_complete_proper_vertex_coloring(g, r.colors));
+  for (const Color c : r.colors) EXPECT_LT(c, target);
+  EXPECT_EQ(r.rounds, lin.palette - target);
+}
+
+TEST(GreedyReduce, RejectsTargetBelowDeltaPlusOne) {
+  const Graph g = gen::star(4);
+  std::vector<Color> init{0, 1, 2, 3, 4};
+  EXPECT_THROW(greedy_reduce(g, init, 5, 4), CheckError);
+}
+
+TEST(GreedyReduce, NoopWhenAlreadySmall) {
+  const Graph g = gen::path(4);
+  std::vector<Color> init{0, 1, 0, 1};
+  const ReductionResult r = greedy_reduce(g, init, 2, 3);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_EQ(r.colors, init);
+}
+
+TEST(DeltaPlusOnePipeline, VariousGraphs) {
+  Rng rng(22);
+  const Graph graphs[] = {gen::cycle(30), gen::random_regular(100, 8, rng),
+                          gen::gnp(80, 0.15, rng), gen::hypercube(5),
+                          gen::complete(9)};
+  for (const Graph& g : graphs) {
+    const ReductionResult r = vertex_color_delta_plus_one(g);
+    EXPECT_TRUE(is_complete_proper_vertex_coloring(g, r.colors));
+    EXPECT_LE(r.palette, g.max_degree() + 1);
+  }
+}
+
+TEST(DeltaPlusOnePipeline, RoundsLinearInDelta) {
+  Rng rng(23);
+  for (const int d : {4, 8, 16, 32}) {
+    const Graph g = gen::random_regular(400, d, rng);
+    RoundLedger ledger;
+    const ReductionResult r = vertex_color_delta_plus_one(g, &ledger);
+    EXPECT_TRUE(is_complete_proper_vertex_coloring(g, r.colors));
+    // O(Δ): ap (<= q ~ 2Δ+3) + greedy (q - Δ - 1) + log* term.
+    EXPECT_LE(r.rounds, 8 * d + 40) << "d=" << d;
+  }
+}
+
+TEST(DeltaPlusOnePipeline, EdgelessGraph) {
+  const ReductionResult r = vertex_color_delta_plus_one(gen::empty(7));
+  EXPECT_EQ(r.palette, 1);
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,83 @@
+// Tests for the (8+ε)Δ CONGEST edge coloring (Theorem 6.3 / 1.2).
+#include <gtest/gtest.h>
+
+#include "core/congest_coloring.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+TEST(CongestColoring, ProperOnRandomRegular) {
+  Rng rng(90);
+  for (const int d : {6, 12, 24}) {
+    const Graph g = gen::random_regular(20 * d, d, rng);
+    const auto r = congest_edge_coloring(g, 1.0);
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+    EXPECT_LE(r.palette, 9 * d) << "d=" << d;  // (8+ε)Δ with ε = 1
+  }
+}
+
+TEST(CongestColoring, ProperOnGnp) {
+  Rng rng(91);
+  const Graph g = gen::gnp(300, 0.06, rng);
+  const auto r = congest_edge_coloring(g, 1.0);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  EXPECT_LE(r.palette, 9 * g.max_degree());
+}
+
+TEST(CongestColoring, ProperOnPowerLaw) {
+  Rng rng(92);
+  const Graph g = gen::power_law(400, 2.5, 6.0, rng);
+  const auto r = congest_edge_coloring(g, 1.0);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  EXPECT_LE(r.palette, 9 * g.max_degree());
+}
+
+TEST(CongestColoring, LowDegreeGoesStraightToTail) {
+  const Graph g = gen::cycle(20);
+  const auto r = congest_edge_coloring(g, 1.0);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  EXPECT_EQ(r.levels, 0);
+  EXPECT_LE(r.palette, 2 * g.max_degree() + 1);
+}
+
+TEST(CongestColoring, TreesAndGrids) {
+  Rng rng(93);
+  const Graph tree = gen::random_tree(200, rng);
+  const auto rt = congest_edge_coloring(tree, 1.0);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(tree, rt.colors));
+
+  const Graph torus = gen::torus(10, 10);
+  const auto rg = congest_edge_coloring(torus, 1.0);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(torus, rg.colors));
+}
+
+TEST(CongestColoring, EmptyAndSingleEdge) {
+  const auto r0 = congest_edge_coloring(gen::empty(4), 1.0);
+  EXPECT_EQ(r0.palette, 0);
+  const Graph one(2, {{0, 1}});
+  const auto r1 = congest_edge_coloring(one, 1.0);
+  EXPECT_EQ(r1.colors[0], 0);
+}
+
+TEST(CongestColoring, LevelsReduceDegreeGeometrically) {
+  Rng rng(94);
+  const Graph g = gen::random_regular(600, 32, rng);
+  const auto r = congest_edge_coloring(g, 0.5);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  EXPECT_GE(r.levels, 2);
+  // The tail degree must be far below Δ (each level roughly halves it).
+  EXPECT_LE(r.tail_degree, 32 / 2);
+}
+
+TEST(CongestColoring, DeterministicAcrossRuns) {
+  Rng rng(95);
+  const Graph g = gen::random_regular(200, 8, rng);
+  const auto a = congest_edge_coloring(g, 1.0);
+  const auto b = congest_edge_coloring(g, 1.0);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,134 @@
+// Generator property tests: regularity, bipartiteness, sizes, determinism.
+#include <gtest/gtest.h>
+
+#include "graph/bipartite.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+TEST(Generators, RegularBipartiteIsExactlyRegular) {
+  for (const int d : {0, 1, 3, 8, 16}) {
+    const auto bg = gen::regular_bipartite(16, d);
+    EXPECT_EQ(bg.graph.num_nodes(), 32);
+    EXPECT_EQ(bg.graph.num_edges(), 16 * d);
+    for (NodeId v = 0; v < bg.graph.num_nodes(); ++v) {
+      EXPECT_EQ(bg.graph.degree(v), d);
+    }
+    validate_bipartition(bg.graph, bg.parts);
+  }
+}
+
+TEST(Generators, RegularBipartiteRejectsTooLargeDegree) {
+  EXPECT_THROW(gen::regular_bipartite(4, 5), CheckError);
+}
+
+TEST(Generators, RandomBipartiteIsBipartite) {
+  Rng rng(1);
+  const auto bg = gen::random_bipartite(20, 30, 0.2, rng);
+  EXPECT_EQ(bg.graph.num_nodes(), 50);
+  validate_bipartition(bg.graph, bg.parts);
+}
+
+TEST(Generators, GnpDensityRoughlyRight) {
+  Rng rng(2);
+  const Graph g = gen::gnp(100, 0.1, rng);
+  const double expected = 0.1 * 100 * 99 / 2;
+  EXPECT_GT(g.num_edges(), expected * 0.6);
+  EXPECT_LT(g.num_edges(), expected * 1.4);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).num_edges(), 45);
+}
+
+TEST(Generators, RandomRegularIsRegularAndSimple) {
+  Rng rng(3);
+  for (const int d : {2, 4, 9, 16}) {
+    const NodeId n = (d % 2 == 0) ? 51 : 50;  // keep n*d even
+    const Graph g = gen::random_regular(n, d, rng);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d) << "d=" << d;
+  }
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  Rng rng(3);
+  EXPECT_THROW(gen::random_regular(5, 3, rng), CheckError);
+}
+
+TEST(Generators, RandomRegularDenseStillWorks) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(20, 15, rng);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 15);
+}
+
+TEST(Generators, PowerLawHasSkewedDegrees) {
+  Rng rng(4);
+  const Graph g = gen::power_law(300, 2.5, 6.0, rng);
+  EXPECT_GT(g.max_degree(), 12);  // head well above the mean
+  EXPECT_GT(g.num_edges(), 300);
+}
+
+TEST(Generators, GridTorusHypercube) {
+  const Graph grid = gen::grid(3, 4);
+  EXPECT_EQ(grid.num_nodes(), 12);
+  EXPECT_EQ(grid.num_edges(), 3 * 3 + 2 * 4);
+  const Graph torus = gen::torus(3, 3);
+  for (NodeId v = 0; v < torus.num_nodes(); ++v) EXPECT_EQ(torus.degree(v), 4);
+  const Graph cube = gen::hypercube(4);
+  EXPECT_EQ(cube.num_nodes(), 16);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(cube.degree(v), 4);
+}
+
+TEST(Generators, CompleteFamilies) {
+  EXPECT_EQ(gen::complete(6).num_edges(), 15);
+  const auto kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.graph.num_edges(), 12);
+  validate_bipartition(kb.graph, kb.parts);
+}
+
+TEST(Generators, PathsCyclesStars) {
+  EXPECT_EQ(gen::path(1).num_edges(), 0);
+  EXPECT_EQ(gen::path(5).num_edges(), 4);
+  EXPECT_EQ(gen::cycle(5).num_edges(), 5);
+  EXPECT_THROW(gen::cycle(2), CheckError);
+  EXPECT_EQ(gen::star(7).max_degree(), 7);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(5);
+  for (const NodeId n : {1, 2, 3, 10, 60}) {
+    const Graph t = gen::random_tree(n, rng);
+    EXPECT_EQ(t.num_nodes(), n);
+    EXPECT_EQ(t.num_edges(), n - 1);
+    // Trees are bipartite and connected (bipartition check covers odd cycles;
+    // edge count + acyclicity implies connectivity).
+    EXPECT_TRUE(try_bipartition(t).has_value());
+  }
+}
+
+TEST(Generators, BaryTreeShape) {
+  const Graph t = gen::bary_tree(3, 2);
+  EXPECT_EQ(t.num_nodes(), 1 + 3 + 9);
+  EXPECT_EQ(t.num_edges(), 12);
+  EXPECT_EQ(t.degree(0), 3);
+}
+
+TEST(Generators, DisjointUnion) {
+  const Graph u = gen::disjoint_union(gen::path(3), gen::cycle(4));
+  EXPECT_EQ(u.num_nodes(), 7);
+  EXPECT_EQ(u.num_edges(), 2 + 4);
+  EXPECT_EQ(u.find_edge(2, 3), kInvalidEdge);
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng a(99), b(99);
+  const Graph g1 = gen::gnp(50, 0.2, a);
+  const Graph g2 = gen::gnp(50, 0.2, b);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+}  // namespace
+}  // namespace dec

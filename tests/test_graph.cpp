@@ -1,0 +1,259 @@
+// Unit tests for the graph substrate: Graph/Builder/Digraph/Orientation/
+// line graph/properties/io.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/bipartite.hpp"
+#include "graph/builder.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/line_graph.hpp"
+#include "graph/orientation.hpp"
+#include "graph/properties.hpp"
+
+namespace dec {
+namespace {
+
+Graph triangle() { return Graph(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(Graph, BasicAccessors) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_EQ(g.edge_degree(0), 2);  // every edge neighbors the other two... deg(u)+deg(v)-2
+  EXPECT_EQ(g.max_edge_degree(), 2);
+}
+
+TEST(Graph, EndpointsAndOther) {
+  const Graph g = triangle();
+  const auto [u, v] = g.endpoints(1);
+  EXPECT_EQ(u, 1);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(g.other_endpoint(1, 1), 2);
+  EXPECT_EQ(g.other_endpoint(1, 2), 1);
+  EXPECT_THROW(g.other_endpoint(1, 0), CheckError);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  EXPECT_THROW(Graph(2, {{0, 0}}), CheckError);
+  EXPECT_THROW(Graph(2, {{0, 1}, {1, 0}}), CheckError);
+  EXPECT_THROW(Graph(2, {{0, 1}, {0, 1}}), CheckError);
+  EXPECT_THROW(Graph(2, {{0, 2}}), CheckError);
+}
+
+TEST(Graph, FindEdge) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.find_edge(0, 1), 0);
+  EXPECT_EQ(g.find_edge(2, 1), 1);
+  const Graph p = gen::path(4);
+  EXPECT_EQ(p.find_edge(0, 3), kInvalidEdge);
+}
+
+TEST(Graph, NeighborsSortedWithEdgeIds) {
+  const Graph g = Graph(4, {{2, 3}, {0, 3}, {0, 1}});
+  const auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0].neighbor, 0);
+  EXPECT_EQ(nb[1].neighbor, 2);
+  EXPECT_EQ(nb[0].edge, g.find_edge(0, 3));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = gen::empty(5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_EQ(g.max_edge_degree(), 0);
+}
+
+TEST(Graph, EdgeDegreeFormulaMatchesLineGraph) {
+  Rng rng(3);
+  const Graph g = gen::gnp(40, 0.2, rng);
+  const Graph lg = line_graph(g);
+  ASSERT_EQ(lg.num_nodes(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edge_degree(e), lg.degree(e)) << "edge " << e;
+  }
+  EXPECT_EQ(g.max_edge_degree(), lg.max_degree());
+}
+
+TEST(Builder, DeduplicatesAndGrows) {
+  GraphBuilder b;
+  b.add_edge(0, 5);
+  b.add_edge(5, 0);
+  b.add_edge(1, 2);
+  EXPECT_TRUE(b.has_edge(0, 5));
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Builder, RejectsSelfLoop) {
+  GraphBuilder b;
+  EXPECT_THROW(b.add_edge(3, 3), CheckError);
+}
+
+TEST(Digraph, InOutAdjacency) {
+  const Digraph d(3, {{0, 1}, {1, 2}, {2, 0}, {0, 2}});
+  EXPECT_EQ(d.num_arcs(), 4);
+  EXPECT_EQ(d.out_degree(0), 2);
+  EXPECT_EQ(d.in_degree(0), 1);
+  EXPECT_EQ(d.degree(0), 3);
+  EXPECT_EQ(d.max_degree(), 3);
+  const auto [t, h] = d.arc(1);
+  EXPECT_EQ(t, 1);
+  EXPECT_EQ(h, 2);
+}
+
+TEST(Digraph, AllowsParallelArcsRejectsLoops) {
+  EXPECT_NO_THROW(Digraph(2, {{0, 1}, {0, 1}}));
+  EXPECT_THROW(Digraph(2, {{0, 0}}), CheckError);
+}
+
+TEST(Digraph, ArcDegree) {
+  const Digraph d(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(d.arc_degree(0), 1);  // deg(0)+deg(1)-2 = 1+2-2
+}
+
+TEST(Orientation, OrientFlipIndegree) {
+  const Graph g = triangle();
+  Orientation o(g);
+  EXPECT_FALSE(o.oriented(0));
+  o.orient_towards(0, 1);
+  EXPECT_TRUE(o.oriented(0));
+  EXPECT_EQ(o.head(0), 1);
+  EXPECT_EQ(o.tail(0), 0);
+  EXPECT_EQ(o.indegree(1), 1);
+  o.flip(0);
+  EXPECT_EQ(o.head(0), 0);
+  EXPECT_EQ(o.indegree(1), 0);
+  EXPECT_EQ(o.indegree(0), 1);
+  EXPECT_EQ(o.num_oriented(), 1);
+  o.validate();
+}
+
+TEST(Orientation, Preconditions) {
+  const Graph g = triangle();
+  Orientation o(g);
+  EXPECT_THROW(o.head(0), CheckError);
+  EXPECT_THROW(o.flip(0), CheckError);
+  o.orient_towards(0, 0);
+  EXPECT_THROW(o.orient_towards(0, 1), CheckError);
+  EXPECT_THROW(o.orient_towards(1, 0), CheckError);  // 0 not an endpoint of e1
+}
+
+TEST(Bipartite, DetectsBipartiteAndOddCycle) {
+  const auto even = try_bipartition(gen::cycle(6));
+  ASSERT_TRUE(even.has_value());
+  validate_bipartition(gen::cycle(6), *even);
+  EXPECT_FALSE(try_bipartition(gen::cycle(5)).has_value());
+  EXPECT_FALSE(try_bipartition(triangle()).has_value());
+}
+
+TEST(Bipartite, EndpointHelpers) {
+  const auto bg = gen::regular_bipartite(4, 2);
+  for (EdgeId e = 0; e < bg.graph.num_edges(); ++e) {
+    const NodeId u = u_endpoint(bg.graph, bg.parts, e);
+    const NodeId v = v_endpoint(bg.graph, bg.parts, e);
+    EXPECT_TRUE(bg.parts.in_u(u));
+    EXPECT_TRUE(bg.parts.in_v(v));
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(Bipartite, ValidateRejectsBadSides) {
+  const auto bg = gen::regular_bipartite(4, 2);
+  Bipartition bad = bg.parts;
+  bad.side[static_cast<std::size_t>(bg.graph.num_nodes() - 1)] = 0;
+  // Last node has neighbors on side 0, so this must fail.
+  EXPECT_THROW(validate_bipartition(bg.graph, bad), CheckError);
+}
+
+TEST(Properties, ProperVertexColoring) {
+  const Graph g = triangle();
+  EXPECT_TRUE(is_proper_vertex_coloring(g, {0, 1, 2}));
+  EXPECT_FALSE(is_proper_vertex_coloring(g, {0, 0, 2}));
+  // 0 and 2 are adjacent in a triangle, so equal colors are improper even
+  // with an uncolored node in between; on a path they are fine.
+  EXPECT_FALSE(is_proper_vertex_coloring(g, {0, kUncolored, 0}));
+  EXPECT_TRUE(is_proper_vertex_coloring(gen::path(3), {0, kUncolored, 0}));
+  EXPECT_FALSE(is_complete_proper_vertex_coloring(g, {0, kUncolored, 1}));
+}
+
+TEST(Properties, ProperEdgeColoring) {
+  const Graph g = gen::path(4);  // edges 0-1, 1-2, 2-3
+  EXPECT_TRUE(is_proper_edge_coloring(g, {0, 1, 0}));
+  EXPECT_FALSE(is_proper_edge_coloring(g, {0, 0, 1}));
+  EXPECT_TRUE(is_proper_edge_coloring(g, {0, kUncolored, 0}));
+  EXPECT_FALSE(is_complete_proper_edge_coloring(g, {0, kUncolored, 0}));
+}
+
+TEST(Properties, Defects) {
+  const Graph g = gen::star(3);
+  const auto vd = vertex_defects(g, {0, 0, 0, 1});
+  EXPECT_EQ(vd[0], 2);  // center collides with two of three leaves
+  const auto ed = edge_defects(g, {5, 5, 5});
+  EXPECT_EQ(ed[0], 2);  // all three star edges share a color
+}
+
+TEST(Properties, PaletteAndCounts) {
+  const std::vector<Color> c{2, kUncolored, 7, 2};
+  EXPECT_EQ(count_colors(c), 2);
+  EXPECT_EQ(palette_size(c), 8);
+  EXPECT_EQ(count_uncolored(c), 1);
+}
+
+TEST(Properties, UncoloredDegrees) {
+  const Graph g = gen::star(3);
+  const std::vector<Color> c{kUncolored, 0, kUncolored};
+  const auto ud = uncolored_degrees(g, c);
+  EXPECT_EQ(ud[0], 2);
+  EXPECT_EQ(max_uncolored_edge_degree(g, c), 1);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  Rng rng(4);
+  const Graph g = gen::gnp(20, 0.3, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(Io, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(read_edge_list(empty), CheckError);
+  std::stringstream truncated("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(truncated), CheckError);
+}
+
+TEST(Io, DotExportMentionsColors) {
+  const Graph g = gen::path(3);
+  const std::vector<Color> colors{4, 9};
+  const std::string dot = to_dot(g, &colors);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"9\""), std::string::npos);
+}
+
+TEST(LineGraph, StarBecomesComplete) {
+  const Graph star = gen::star(4);
+  const Graph lg = line_graph(star);
+  EXPECT_EQ(lg.num_nodes(), 4);
+  EXPECT_EQ(lg.num_edges(), 6);  // K4
+}
+
+TEST(LineGraph, EmptyAndSingleEdge) {
+  EXPECT_EQ(line_graph(gen::empty(3)).num_nodes(), 0);
+  const Graph one(2, {{0, 1}});
+  const Graph lg = line_graph(one);
+  EXPECT_EQ(lg.num_nodes(), 1);
+  EXPECT_EQ(lg.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace dec

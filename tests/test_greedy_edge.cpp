@@ -1,0 +1,87 @@
+// Tests for schedule-driven greedy list edge coloring.
+#include <gtest/gtest.h>
+
+#include "coloring/greedy_edge.hpp"
+#include "coloring/linial.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+TEST(GreedyEdge, ColorsFullGraph) {
+  Rng rng(50);
+  const Graph g = gen::random_regular(80, 6, rng);
+  const ListEdgeInstance inst = make_full_palette_instance(g);
+  const LinialResult schedule = linial_edge_color(g);
+  std::vector<Color> colors(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  const std::int64_t rounds = greedy_list_edge_color(
+      inst, schedule.colors, schedule.palette, colors);
+  EXPECT_TRUE(check_list_coloring(inst, colors));
+  EXPECT_GT(rounds, 0);
+  EXPECT_LE(rounds, schedule.palette);
+}
+
+TEST(GreedyEdge, RespectsLists) {
+  Rng rng(51);
+  const Graph g = gen::random_regular(60, 4, rng);
+  const ListEdgeInstance inst =
+      make_random_list_instance(g, 3 * g.max_edge_degree(), rng);
+  const LinialResult schedule = linial_edge_color(g);
+  std::vector<Color> colors(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  greedy_list_edge_color(inst, schedule.colors, schedule.palette, colors);
+  EXPECT_TRUE(check_list_coloring(inst, colors));
+}
+
+TEST(GreedyEdge, RespectsPrecoloredEdges) {
+  const Graph g = gen::star(3);
+  const ListEdgeInstance inst = make_full_palette_instance(g, 4);
+  std::vector<Color> colors{2, kUncolored, kUncolored};
+  // Identity schedule: every edge its own class (trivially proper).
+  std::vector<Color> schedule{0, 1, 2};
+  greedy_list_edge_color(inst, schedule, 3, colors);
+  EXPECT_EQ(colors[0], 2);  // untouched
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, colors));
+}
+
+TEST(GreedyEdge, ActiveMaskLimitsScope) {
+  const Graph g = gen::path(4);  // edges 0,1,2
+  const ListEdgeInstance inst = make_full_palette_instance(g, 3);
+  std::vector<Color> colors(3, kUncolored);
+  std::vector<Color> schedule{0, 1, 0};
+  std::vector<bool> active{true, false, true};
+  greedy_list_edge_color(inst, schedule, 2, colors, &active);
+  EXPECT_NE(colors[0], kUncolored);
+  EXPECT_EQ(colors[1], kUncolored);
+  EXPECT_NE(colors[2], kUncolored);
+}
+
+TEST(GreedyEdge, ThrowsWhenListsTooSmall) {
+  const Graph g = gen::star(3);  // three mutually adjacent edges
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = 2;
+  inst.lists = {{0, 1}, {0, 1}, {0, 1}};  // 3 mutually adjacent, 2 colors
+  std::vector<Color> colors(3, kUncolored);
+  std::vector<Color> schedule{0, 1, 2};
+  EXPECT_THROW(greedy_list_edge_color(inst, schedule, 3, colors), CheckError);
+}
+
+TEST(GreedyEdge, RejectsImproperSchedule) {
+  const Graph g = gen::star(3);
+  const ListEdgeInstance inst = make_full_palette_instance(g);
+  std::vector<Color> colors(3, kUncolored);
+  std::vector<Color> schedule{0, 0, 1};  // two adjacent edges share a class
+  EXPECT_THROW(greedy_list_edge_color(inst, schedule, 2, colors), CheckError);
+}
+
+TEST(GreedyEdge, RoundsCountNonEmptyClassesOnly) {
+  const Graph g = gen::path(3);
+  const ListEdgeInstance inst = make_full_palette_instance(g);
+  std::vector<Color> colors(2, kUncolored);
+  std::vector<Color> schedule{5, 9};  // classes 0-4 and 6-8 empty
+  const std::int64_t rounds = greedy_list_edge_color(inst, schedule, 10, colors);
+  EXPECT_EQ(rounds, 2);
+}
+
+}  // namespace
+}  // namespace dec

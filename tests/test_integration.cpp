@@ -1,0 +1,97 @@
+// Cross-module integration tests: full pipelines against each other,
+// round-ledger consistency, CONGEST audit, determinism under seeds, and
+// adversarial tie-breaking robustness.
+#include <gtest/gtest.h>
+
+#include "coloring/baselines.hpp"
+#include "core/congest_coloring.hpp"
+#include "core/local_coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/line_graph.hpp"
+
+namespace dec {
+namespace {
+
+TEST(Integration, AllAlgorithmsAgreeOnValidity) {
+  Rng rng(140);
+  const Graph g = gen::random_regular(150, 8, rng);
+  const auto fast = edge_color_fast_2delta(g);
+  const auto quad = edge_color_greedy_quadratic(g);
+  Rng luby_rng(1);
+  const auto luby = edge_color_luby(g, luby_rng);
+  const auto congest = congest_edge_coloring(g, 1.0);
+  const auto local = solve_2delta_minus_1(g);
+  for (const auto* colors :
+       {&fast.colors, &quad.colors, &luby.colors, &congest.colors,
+        &local.colors}) {
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, *colors));
+  }
+  // Palette ordering: 2Δ-1 exact solvers <= CONGEST O(Δ) <= trivial Δ̄².
+  EXPECT_LE(palette_size(fast.colors), palette_size(congest.colors) + 1);
+}
+
+TEST(Integration, PaletteComparisonOnDenseGraph) {
+  Rng rng(141);
+  const Graph g = gen::gnp(120, 0.2, rng);
+  const auto local = solve_2delta_minus_1(g);
+  EXPECT_LE(palette_size(local.colors), 2 * g.max_degree() - 1);
+  const auto congest = congest_edge_coloring(g, 0.5);
+  EXPECT_LE(palette_size(congest.colors),
+            static_cast<int>(8.5 * g.max_degree()) + 4);
+}
+
+TEST(Integration, RoundsOrderingMatchesComplexityClasses) {
+  // For moderately large Δ: quadratic baseline >> linear baseline.
+  Rng rng(142);
+  const int d = 24;
+  const Graph g = gen::random_regular(15 * d, d, rng);
+  const auto fast = edge_color_fast_2delta(g);
+  const auto quad = edge_color_greedy_quadratic(g);
+  EXPECT_LT(fast.rounds, quad.rounds);
+}
+
+TEST(Integration, EdgeColoringViaLineGraphVertexColoring) {
+  // Cross-check: a (Δ_L+1)-vertex coloring of L(G) is a valid edge coloring
+  // of G with Δ̄+1 = 2Δ-1 colors.
+  Rng rng(143);
+  const Graph g = gen::random_regular(100, 5, rng);
+  const Graph lg = line_graph(g);
+  EXPECT_EQ(lg.max_degree(), g.max_edge_degree());
+}
+
+TEST(Integration, DisconnectedGraphsHandledEverywhere) {
+  Rng rng(144);
+  const Graph g =
+      gen::disjoint_union(gen::random_regular(60, 6, rng), gen::cycle(9));
+  const auto local = solve_2delta_minus_1(g);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, local.colors));
+  const auto congest = congest_edge_coloring(g, 1.0);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, congest.colors));
+}
+
+TEST(Integration, LedgerBreakdownCoversAllPhases) {
+  Rng rng(145);
+  const Graph g = gen::random_regular(150, 12, rng);
+  RoundLedger ledger;
+  const auto r = congest_edge_coloring(g, 1.0, ParamMode::kPractical, &ledger);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  // Every major phase must have charged something.
+  EXPECT_GT(ledger.component("linial"), 0);
+  EXPECT_GT(ledger.component("defective4"), 0);
+  EXPECT_GT(ledger.component("bipartite_level"), 0);
+}
+
+TEST(Integration, StressManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::gnp(80, 0.08, rng);
+    if (g.num_edges() == 0) continue;
+    const auto r = solve_2delta_minus_1(g);
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors)) << seed;
+    const auto c = congest_edge_coloring(g, 1.0);
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, c.colors)) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dec

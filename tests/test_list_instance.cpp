@@ -1,0 +1,98 @@
+// Tests for list edge coloring instance machinery.
+#include <gtest/gtest.h>
+
+#include "coloring/list_instance.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+TEST(ListInstance, FullPaletteDefaults) {
+  Rng rng(40);
+  const Graph g = gen::random_regular(50, 4, rng);
+  const ListEdgeInstance inst = make_full_palette_instance(g);
+  EXPECT_EQ(inst.color_space, g.max_edge_degree() + 1);  // = 2Δ-1
+  validate_degree_plus_one(inst);
+  EXPECT_GE(min_slack(inst), 1.0);
+}
+
+TEST(ListInstance, FullPaletteCustomK) {
+  const Graph g = gen::path(4);
+  const ListEdgeInstance inst = make_full_palette_instance(g, 9);
+  EXPECT_EQ(inst.color_space, 9);
+  EXPECT_EQ(inst.list(0).size(), 9u);
+}
+
+TEST(ListInstance, RandomListsAreDegreePlusOne) {
+  Rng rng(41);
+  const Graph g = gen::random_regular(60, 6, rng);
+  const ListEdgeInstance inst =
+      make_random_list_instance(g, 3 * g.max_edge_degree(), rng);
+  validate_degree_plus_one(inst);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(static_cast<int>(inst.list(e).size()), g.edge_degree(e) + 1);
+  }
+}
+
+TEST(ListInstance, RandomListsRejectSmallSpace) {
+  Rng rng(42);
+  const Graph g = gen::complete(6);
+  EXPECT_THROW(make_random_list_instance(g, g.max_edge_degree(), rng),
+               CheckError);
+}
+
+TEST(ListInstance, SkewedListsAreValidAndSkewed) {
+  Rng rng(43);
+  const Graph g = gen::random_regular(60, 6, rng);
+  const int space = 4 * g.max_edge_degree();
+  const ListEdgeInstance inst = make_skewed_list_instance(g, space, 0.9, rng);
+  validate_degree_plus_one(inst);
+  // With bias 0.9, most list mass sits in the lower half.
+  std::int64_t low = 0, total = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const Color c : inst.list(e)) {
+      ++total;
+      if (c < space / 2) ++low;
+    }
+  }
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.7);
+}
+
+TEST(ListInstance, ValidateCatchesProblems) {
+  const Graph g = gen::path(3);
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = 4;
+  inst.lists = {{0, 1}, {1, 0}};  // second list unsorted
+  EXPECT_THROW(validate_lists(inst), CheckError);
+  inst.lists = {{0, 1}, {1, 1}};  // duplicate
+  EXPECT_THROW(validate_lists(inst), CheckError);
+  inst.lists = {{0, 1}, {1, 7}};  // out of space
+  EXPECT_THROW(validate_lists(inst), CheckError);
+  inst.lists = {{0, 1}, {1}};  // too small for degree+1 (deg=1 ⇒ need 2)
+  EXPECT_THROW(validate_degree_plus_one(inst), CheckError);
+}
+
+TEST(ListInstance, CheckListColoring) {
+  const Graph g = gen::path(3);  // edges {0-1, 1-2}, adjacent
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = 3;
+  inst.lists = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(check_list_coloring(inst, {0, 1}));
+  EXPECT_FALSE(check_list_coloring(inst, {1, 1}));        // conflict
+  EXPECT_FALSE(check_list_coloring(inst, {2, 1}));        // 2 not in list 0
+  EXPECT_FALSE(check_list_coloring(inst, {0, kUncolored}));  // incomplete
+}
+
+TEST(ListInstance, MinSlackComputation) {
+  const Graph g = gen::star(2);  // two edges, each deg 1
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = 6;
+  inst.lists = {{0, 1, 2}, {0, 1}};
+  EXPECT_DOUBLE_EQ(min_slack(inst), 2.0);
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,126 @@
+// Tests for the Lemma D.1 / D.2 relaxed list solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coloring/linial.hpp"
+#include "core/list_solver.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+struct SolverFixture {
+  BipartiteGraph bg;
+  ListEdgeInstance inst;
+  LinialResult schedule;
+  std::vector<Color> colors;
+};
+
+SolverFixture make_setup(int n_per_side, int d, double slack_mult, Rng& rng) {
+  SolverFixture s;
+  s.bg = gen::regular_bipartite(n_per_side, d);
+  const Graph& g = s.bg.graph;
+  const int space =
+      std::max(g.max_edge_degree() + 1,
+               static_cast<int>(slack_mult * g.max_edge_degree()) + 2);
+  s.inst.g = &g;
+  s.inst.color_space = space;
+  s.inst.lists.resize(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int want = std::min(
+        space, static_cast<int>(slack_mult * g.edge_degree(e)) + 1);
+    // Uniform random subset of the requested size.
+    std::vector<Color> all(static_cast<std::size_t>(space));
+    for (int c = 0; c < space; ++c) all[static_cast<std::size_t>(c)] = c;
+    rng.shuffle(all);
+    all.resize(static_cast<std::size_t>(want));
+    std::sort(all.begin(), all.end());
+    s.inst.lists[static_cast<std::size_t>(e)] = std::move(all);
+  }
+  s.schedule = linial_edge_color(g);
+  s.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
+  return s;
+}
+
+bool colors_from_lists(const SolverFixture& s) {
+  for (EdgeId e = 0; e < s.bg.graph.num_edges(); ++e) {
+    const auto& l = s.inst.list(e);
+    if (!std::binary_search(l.begin(), l.end(),
+                            s.colors[static_cast<std::size_t>(e)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ListSolver, SolvesSlackEInstances) {
+  Rng rng(100);
+  SolverFixture s = make_setup(64, 8, std::exp(2.0) + 0.5, rng);
+  const auto stats =
+      solve_relaxed_list(s.bg.graph, s.bg.parts, s.inst, std::exp(2.0),
+                         s.schedule.colors, s.schedule.palette, s.colors);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(s.bg.graph, s.colors));
+  EXPECT_TRUE(colors_from_lists(s));
+  EXPECT_EQ(stats.colored, s.bg.graph.num_edges());
+}
+
+TEST(ListSolver, HigherSlackAlsoWorks) {
+  Rng rng(101);
+  SolverFixture s = make_setup(48, 6, 12.0, rng);
+  solve_relaxed_list(s.bg.graph, s.bg.parts, s.inst, std::exp(2.0),
+                     s.schedule.colors, s.schedule.palette, s.colors);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(s.bg.graph, s.colors));
+  EXPECT_TRUE(colors_from_lists(s));
+}
+
+TEST(ListSolver, RespectsPrecoloredBlockers) {
+  Rng rng(102);
+  SolverFixture s = make_setup(32, 4, 10.0, rng);
+  // Pre-color a few edges manually (properly) and let the solver finish.
+  s.colors[0] = s.inst.list(0).front();
+  const auto stats =
+      solve_relaxed_list(s.bg.graph, s.bg.parts, s.inst, std::exp(2.0),
+                         s.schedule.colors, s.schedule.palette, s.colors);
+  EXPECT_EQ(s.colors[0], s.inst.list(0).front());
+  EXPECT_TRUE(is_complete_proper_edge_coloring(s.bg.graph, s.colors));
+  EXPECT_EQ(stats.colored, s.bg.graph.num_edges() - 1);
+}
+
+TEST(ListSolver, PassiveDemotionsHappenAtLowDegree) {
+  Rng rng(103);
+  // Small degree: everything should demote immediately (degree < β/ε) and be
+  // colored by the passive pass.
+  SolverFixture s = make_setup(16, 2, 8.0, rng);
+  const auto stats =
+      solve_relaxed_list(s.bg.graph, s.bg.parts, s.inst, std::exp(2.0),
+                         s.schedule.colors, s.schedule.palette, s.colors);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(s.bg.graph, s.colors));
+  EXPECT_GT(stats.passive_natural, 0);
+}
+
+TEST(ListSolver, EmptyInstanceNoop) {
+  const auto bg = gen::regular_bipartite(4, 0);
+  ListEdgeInstance inst;
+  inst.g = &bg.graph;
+  inst.color_space = 4;
+  std::vector<Color> colors;
+  std::vector<Color> schedule;
+  const auto stats = solve_relaxed_list(bg.graph, bg.parts, inst,
+                                        std::exp(2.0), schedule, 1, colors);
+  EXPECT_EQ(stats.colored, 0);
+}
+
+TEST(ListSolver, LedgerMatchesReportedRounds) {
+  Rng rng(104);
+  SolverFixture s = make_setup(48, 8, 9.0, rng);
+  RoundLedger ledger;
+  const auto stats = solve_relaxed_list(
+      s.bg.graph, s.bg.parts, s.inst, std::exp(2.0), s.schedule.colors,
+      s.schedule.palette, s.colors, ParamMode::kPractical, &ledger);
+  EXPECT_GT(ledger.total(), 0);
+  EXPECT_GE(stats.rounds, 0);
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,120 @@
+// Tests for the LOCAL (degree+1)-list edge coloring (Theorem D.4 / 1.1).
+#include <gtest/gtest.h>
+
+#include "core/local_coloring.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+TEST(LocalColoring, TwoDeltaMinusOneSpecialCase) {
+  Rng rng(120);
+  for (const int d : {4, 8, 12}) {
+    const Graph g = gen::random_regular(20 * d, d, rng);
+    const auto r = solve_2delta_minus_1(g);
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+    EXPECT_LT(palette_size(r.colors), 2 * d);  // colors in [0, 2Δ-1)
+  }
+}
+
+TEST(LocalColoring, RandomDegreePlusOneLists) {
+  Rng rng(121);
+  const Graph g = gen::random_regular(160, 8, rng);
+  const ListEdgeInstance inst =
+      make_random_list_instance(g, 3 * g.max_edge_degree(), rng);
+  const auto r = solve_list_edge_coloring(g, inst);
+  EXPECT_TRUE(check_list_coloring(inst, r.colors));
+}
+
+TEST(LocalColoring, SkewedAdversarialLists) {
+  Rng rng(122);
+  const Graph g = gen::random_regular(120, 8, rng);
+  const ListEdgeInstance inst =
+      make_skewed_list_instance(g, 4 * g.max_edge_degree(), 0.85, rng);
+  const auto r = solve_list_edge_coloring(g, inst);
+  EXPECT_TRUE(check_list_coloring(inst, r.colors));
+}
+
+TEST(LocalColoring, NonRegularFamilies) {
+  Rng rng(123);
+  const Graph graphs[] = {gen::gnp(200, 0.05, rng), gen::power_law(200, 2.6, 5.0, rng),
+                          gen::random_tree(150, rng), gen::torus(8, 8)};
+  for (const Graph& g : graphs) {
+    if (g.num_edges() == 0) continue;
+    const auto r = solve_2delta_minus_1(g);
+    EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+    EXPECT_LE(palette_size(r.colors),
+              std::max(1, 2 * g.max_degree() - 1));
+  }
+}
+
+TEST(LocalColoring, TinyGraphs) {
+  const Graph one(2, {{0, 1}});
+  const auto r1 = solve_2delta_minus_1(one);
+  EXPECT_EQ(r1.colors[0], 0);
+
+  const auto r2 = solve_2delta_minus_1(gen::star(3));
+  EXPECT_TRUE(is_complete_proper_edge_coloring(gen::star(3), r2.colors));
+
+  const auto r3 = solve_2delta_minus_1(gen::empty(3));
+  EXPECT_TRUE(r3.colors.empty());
+}
+
+TEST(LocalColoring, IterationsLogarithmicInDelta) {
+  Rng rng(124);
+  const Graph g = gen::random_regular(300, 16, rng);
+  const auto r = solve_2delta_minus_1(g);
+  EXPECT_TRUE(is_complete_proper_edge_coloring(g, r.colors));
+  // O(log Δ) outer iterations (generous constant).
+  EXPECT_LE(r.iterations, 4 * 5 + 8);
+}
+
+TEST(LocalColoring, RejectsTooSmallLists) {
+  const Graph g = gen::star(3);
+  ListEdgeInstance inst;
+  inst.g = &g;
+  inst.color_space = 3;
+  inst.lists = {{0, 1}, {0, 1}, {0, 1, 2}};  // first two: size 2 < deg+1 = 3
+  EXPECT_THROW(solve_list_edge_coloring(g, inst), CheckError);
+}
+
+TEST(LocalColoring, DeterministicAcrossRuns) {
+  Rng rng(125);
+  const Graph g = gen::random_regular(100, 6, rng);
+  const auto a = solve_2delta_minus_1(g);
+  const auto b = solve_2delta_minus_1(g);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+// Property sweep: every family × list style must produce a valid list
+// coloring.
+struct LocalCase {
+  int family;
+  int lists;  // 0 = full palette, 1 = random, 2 = skewed
+};
+class LocalSweep : public ::testing::TestWithParam<LocalCase> {};
+
+TEST_P(LocalSweep, ValidListColoring) {
+  const auto [family, lists] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(1000 + family * 10 + lists));
+  Graph g = family == 0   ? gen::random_regular(120, 6, rng)
+            : family == 1 ? gen::gnp(150, 0.05, rng)
+                          : gen::power_law(150, 2.7, 4.0, rng);
+  if (g.num_edges() == 0) GTEST_SKIP();
+  ListEdgeInstance inst =
+      lists == 0   ? make_full_palette_instance(g)
+      : lists == 1 ? make_random_list_instance(g, 3 * g.max_edge_degree(), rng)
+                   : make_skewed_list_instance(g, 4 * g.max_edge_degree(), 0.8,
+                                               rng);
+  const auto r = solve_list_edge_coloring(g, inst);
+  EXPECT_TRUE(check_list_coloring(inst, r.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesLists, LocalSweep,
+    ::testing::Values(LocalCase{0, 0}, LocalCase{0, 1}, LocalCase{0, 2},
+                      LocalCase{1, 0}, LocalCase{1, 1}, LocalCase{1, 2},
+                      LocalCase{2, 0}, LocalCase{2, 1}, LocalCase{2, 2}));
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,167 @@
+// Simulator tests: ledger accounting, message bit accounting, SyncNetwork
+// delivery semantics (synchrony, per-edge channels, audit).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/ledger.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+
+namespace dec {
+namespace {
+
+TEST(Ledger, ChargesAndBreakdown) {
+  RoundLedger l;
+  l.charge("a", 3);
+  l.charge("b", 2);
+  l.charge("a", 1);
+  EXPECT_EQ(l.total(), 6);
+  EXPECT_EQ(l.component("a"), 4);
+  EXPECT_EQ(l.component("missing"), 0);
+  EXPECT_THROW(l.charge("neg", -1), CheckError);
+}
+
+TEST(Ledger, LogStarCharge) {
+  RoundLedger l;
+  l.charge_log_star(65536);
+  EXPECT_EQ(l.component("log*"), 4);
+}
+
+TEST(Ledger, MergeAndReset) {
+  RoundLedger a, b;
+  a.charge("x", 1);
+  b.charge("x", 2);
+  b.charge("y", 5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 8);
+  EXPECT_EQ(a.component("x"), 3);
+  a.reset();
+  EXPECT_EQ(a.total(), 0);
+}
+
+TEST(Ledger, ReportMentionsComponents) {
+  RoundLedger l;
+  l.charge("token_dropping", 7);
+  const std::string rep = l.report();
+  EXPECT_NE(rep.find("token_dropping = 7"), std::string::npos);
+}
+
+TEST(Message, FieldBits) {
+  EXPECT_EQ(field_bits(0), 2);   // 1 magnitude bit + sign
+  EXPECT_EQ(field_bits(1), 2);
+  EXPECT_EQ(field_bits(2), 3);
+  EXPECT_EQ(field_bits(-1), 2);
+  EXPECT_EQ(field_bits(255), 9);
+}
+
+TEST(Message, MessageBitsAndAudit) {
+  Message m{3, 500};
+  EXPECT_EQ(message_bits(m), field_bits(3) + field_bits(500));
+  CongestAudit audit;
+  audit.observe(m);
+  audit.observe(Message{});  // empty = not sent
+  EXPECT_EQ(audit.messages_sent(), 1);
+  EXPECT_EQ(audit.max_bits(), message_bits(m));
+  audit.reset();
+  EXPECT_EQ(audit.max_bits(), 0);
+}
+
+TEST(Network, DeliversAlongEdges) {
+  const Graph g = gen::path(3);  // 0-1, 1-2
+  SyncNetwork net(g);
+  // Round 1: everyone sends its id on every incident edge.
+  net.round([](NodeId v, std::span<const Message> inbox,
+               std::span<Message> outbox) {
+    EXPECT_TRUE(std::all_of(inbox.begin(), inbox.end(),
+                            [](const Message& m) { return m.empty(); }));
+    for (auto& m : outbox) m = Message{v};
+  });
+  // Round 2: check each node received exactly its neighbors' ids.
+  net.round([&](NodeId v, std::span<const Message> inbox,
+                std::span<Message>) {
+    const auto nb = g.neighbors(v);
+    ASSERT_EQ(inbox.size(), nb.size());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      ASSERT_FALSE(inbox[i].empty());
+      EXPECT_EQ(inbox[i].at(0), nb[i].neighbor);
+    }
+  });
+  EXPECT_EQ(net.rounds_executed(), 2);
+}
+
+TEST(Network, SynchronousSemantics) {
+  // A message sent in round t must not be visible in round t, only in t+1.
+  const Graph g = gen::path(2);
+  SyncNetwork net(g);
+  bool saw_in_same_round = false;
+  net.round([&](NodeId v, std::span<const Message> inbox,
+                std::span<Message> outbox) {
+    if (v == 0) outbox[0] = Message{42};
+    if (v == 1 && !inbox[0].empty()) saw_in_same_round = true;
+  });
+  EXPECT_FALSE(saw_in_same_round);
+  bool saw_next_round = false;
+  net.round([&](NodeId v, std::span<const Message> inbox, std::span<Message>) {
+    if (v == 1 && !inbox[0].empty() && inbox[0].at(0) == 42) {
+      saw_next_round = true;
+    }
+  });
+  EXPECT_TRUE(saw_next_round);
+}
+
+TEST(Network, MessagesDoNotPersist) {
+  const Graph g = gen::path(2);
+  SyncNetwork net(g);
+  net.round([](NodeId v, std::span<const Message>, std::span<Message> out) {
+    if (v == 0) out[0] = Message{1};
+  });
+  net.round([](NodeId, std::span<const Message>, std::span<Message>) {});
+  // The round-1 message must be gone by round 3.
+  net.round([&](NodeId v, std::span<const Message> inbox, std::span<Message>) {
+    if (v == 1) {
+      EXPECT_TRUE(inbox[0].empty());
+    }
+  });
+}
+
+TEST(Network, ChargesLedger) {
+  const Graph g = gen::cycle(4);
+  RoundLedger l;
+  SyncNetwork net(g, &l, "mycomp");
+  net.round([](NodeId, std::span<const Message>, std::span<Message>) {});
+  net.round([](NodeId, std::span<const Message>, std::span<Message>) {});
+  EXPECT_EQ(l.component("mycomp"), 2);
+}
+
+TEST(Network, AuditTracksMaxBits) {
+  const Graph g = gen::path(2);
+  SyncNetwork net(g);
+  net.round([](NodeId v, std::span<const Message>, std::span<Message> out) {
+    if (v == 0) out[0] = Message{1023};
+  });
+  EXPECT_EQ(net.audit().max_bits(), field_bits(1023));
+  EXPECT_EQ(net.audit().messages_sent(), 1);
+}
+
+TEST(Network, PerEdgeChannelsAreIndependent) {
+  const Graph g = gen::star(3);  // center 0
+  SyncNetwork net(g);
+  net.round([&](NodeId v, std::span<const Message>, std::span<Message> out) {
+    if (v == 0) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = Message{static_cast<std::int64_t>(100 + i)};
+      }
+    }
+  });
+  net.round([&](NodeId v, std::span<const Message> inbox, std::span<Message>) {
+    if (v != 0) {
+      ASSERT_EQ(inbox.size(), 1u);
+      ASSERT_FALSE(inbox[0].empty());
+      // Leaf v is the (v-1)-th neighbor of the center (sorted by id).
+      EXPECT_EQ(inbox[0].at(0), 100 + (v - 1));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dec
