@@ -36,19 +36,74 @@ void BM_LineGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_LineGraph)->Arg(1000)->Arg(4000);
 
+// Legacy path: node program behind std::function type erasure.
 void BM_NetworkRound(benchmark::State& state) {
   Rng rng(3);
   const Graph g = gen::random_regular(
       static_cast<NodeId>(state.range(0)), 8, rng);
   SyncNetwork net(g);
+  const SyncNetwork::StepFn fn = [](NodeId v, const Inbox&, Outbox& out) {
+    for (auto& m : out) m = Message{v};
+  };
   for (auto _ : state) {
-    net.round([](NodeId v, std::span<const Message>, std::span<Message> out) {
+    net.round(fn);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkRound)->Arg(1000)->Arg(10000);
+
+// Serial fast path: round_fast<F> keeps the node program a direct call.
+void BM_NetworkRoundFast(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g);
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
       for (auto& m : out) m = Message{v};
     });
   }
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
-BENCHMARK(BM_NetworkRound)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_NetworkRoundFast)->Arg(1000)->Arg(10000);
+
+// Parallel round engine; Args are {n, threads}.
+void BM_NetworkRoundParallel(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g, nullptr, "network", static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
+      for (auto& m : out) m = Message{v};
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkRoundParallel)
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8});
+
+// Wide payloads: exercises the slab-arena spill path (> kInlineFields).
+void BM_NetworkRoundSpill(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g);
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
+      for (auto& m : out) {
+        for (std::int64_t k = 0;
+             k < static_cast<std::int64_t>(2 * Message::kInlineFields); ++k) {
+          m.push(v + k);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkRoundSpill)->Arg(1000)->Arg(10000);
 
 void BM_ProperEdgeColoringCheck(benchmark::State& state) {
   Rng rng(4);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run the google-benchmark micro benches with JSON output so future PRs have
+# a BENCH_*.json perf trajectory to diff against (items_per_second of
+# BM_NetworkRound* is the substrate headline number).
+#
+# Usage: bench/run_benches.sh [build_dir] [out_dir]
+#   build_dir: CMake build tree containing the bench binaries (default: build)
+#   out_dir:   where BENCH_<name>_<stamp>.json files land (default: bench/results)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench/results}
+STAMP=$(date +%Y%m%d_%H%M%S)
+MIN_TIME=${BENCH_MIN_TIME:-2}
+
+mkdir -p "$OUT_DIR"
+
+# Google-benchmark binaries are the ones that understand --benchmark_format.
+GBENCH_BINARIES=(bench_substrate_micro)
+
+ran=0
+for name in "${GBENCH_BINARIES[@]}"; do
+  bin="$BUILD_DIR/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "skip: $bin not built (configure with google-benchmark installed)" >&2
+    continue
+  fi
+  out="$OUT_DIR/BENCH_${name}_${STAMP}.json"
+  echo "== $name -> $out"
+  "$bin" --benchmark_min_time="$MIN_TIME" \
+         --benchmark_format=console \
+         --benchmark_out_format=json \
+         --benchmark_out="$out"
+  ran=$((ran + 1))
+done
+
+if [[ "$ran" -eq 0 ]]; then
+  echo "error: no benchmark binaries found under $BUILD_DIR" >&2
+  exit 1
+fi
+echo "wrote $ran JSON file(s) under $OUT_DIR"

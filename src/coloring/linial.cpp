@@ -52,7 +52,8 @@ std::int64_t eval_digit_poly(std::int64_t color, std::int64_t q, int d,
 }  // namespace
 
 LinialResult linial_color(const Graph& g, RoundLedger* ledger,
-                          std::vector<Color> initial, std::int64_t id_space) {
+                          std::vector<Color> initial, std::int64_t id_space,
+                          int num_threads) {
   const NodeId n = g.num_nodes();
   if (initial.empty()) {
     initial.resize(static_cast<std::size_t>(n));
@@ -80,7 +81,7 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
     return res;
   }
 
-  SyncNetwork net(g, ledger, "linial");
+  ParallelSyncNetwork net(g, ledger, "linial", num_threads);
   std::int64_t m = id_space;
 
   // Precompute the (q, d) schedule; all nodes know n and Δ, so the schedule
@@ -103,16 +104,15 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
 
   // Round 0: everyone announces its current color. Rounds 1..T: consume the
   // previous generation of colors, adopt the reduced color, announce it.
-  auto announce = [&](NodeId v, std::span<const Message>,
-                      std::span<Message> outbox) {
+  // Node programs write only work/next[v] and their own outbox, so they are
+  // safe on the parallel engine and deterministic either way.
+  net.round_fast([&](NodeId v, const Inbox&, Outbox& outbox) {
     for (auto& msg : outbox) msg = Message{work[static_cast<std::size_t>(v)]};
-  };
-  net.round(announce);
+  });
 
   for (const LinialStep step : schedule) {
     std::vector<std::int64_t> next(work);
-    net.round([&](NodeId v, std::span<const Message> inbox,
-                  std::span<Message> outbox) {
+    net.round_fast([&](NodeId v, const Inbox& inbox, Outbox& outbox) {
       const std::int64_t mine = work[static_cast<std::size_t>(v)];
       // Find r with no collision against any neighbor polynomial.
       std::int64_t chosen_r = -1;
@@ -151,9 +151,10 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
   return res;
 }
 
-LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger) {
+LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger,
+                               int num_threads) {
   const Graph lg = line_graph(g);
-  LinialResult res = linial_color(lg, ledger);
+  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads);
   DEC_CHECK(is_proper_edge_coloring(g, res.colors),
             "line-graph coloring is not a proper edge coloring");
   return res;

@@ -40,15 +40,18 @@ LinialStep linial_step_params(std::int64_t m, int max_degree);
 
 /// Color g properly with O(Δ²) colors in O(log* id_space) rounds.
 /// `initial` is a proper coloring with values in [0, id_space); when empty,
-/// node ids are used (id_space defaults to n).
+/// node ids are used (id_space defaults to n). `num_threads` > 1 runs the
+/// simulation on the parallel round engine (0 = hardware concurrency); the
+/// result is bit-identical to the serial engine.
 LinialResult linial_color(const Graph& g, RoundLedger* ledger = nullptr,
                           std::vector<Color> initial = {},
-                          std::int64_t id_space = 0);
+                          std::int64_t id_space = 0, int num_threads = 1);
 
 /// Run Linial on the line graph of g, producing a proper *edge* coloring of g
 /// with O(Δ̄²) colors in O(log* m) rounds. (In LOCAL/CONGEST a node simulates
 /// its incident edges at constant overhead, so charging the line-graph rounds
 /// directly is faithful.)
-LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger = nullptr);
+LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger = nullptr,
+                               int num_threads = 1);
 
 }  // namespace dec

@@ -14,14 +14,15 @@ namespace dec {
 
 CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
                                             ParamMode mode,
-                                            RoundLedger* ledger) {
+                                            RoundLedger* ledger,
+                                            int num_threads) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   CongestColoringResult res;
   res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
   if (g.num_edges() == 0) return res;
 
   // Initial O(Δ²)-vertex coloring (O(log* n) rounds; CONGEST-legal).
-  const LinialResult lin = linial_color(g, ledger);
+  const LinialResult lin = linial_color(g, ledger, {}, 0, num_threads);
   res.rounds += lin.rounds;
 
   const int delta0 = g.max_degree();

@@ -30,9 +30,12 @@ struct CongestColoringResult {
   int tail_degree = 0;     // Δ of the subgraph handled by the tail step
 };
 
-/// (8+O(ε))Δ-edge coloring in polylog(Δ) + O(log* n) rounds.
+/// (8+O(ε))Δ-edge coloring in polylog(Δ) + O(log* n) rounds. `num_threads`
+/// runs the SyncNetwork-backed subroutines (Linial) on the parallel round
+/// engine (1 = serial, 0 = hardware concurrency); results are bit-identical
+/// across engines.
 CongestColoringResult congest_edge_coloring(
     const Graph& g, double eps, ParamMode mode = ParamMode::kPractical,
-    RoundLedger* ledger = nullptr);
+    RoundLedger* ledger = nullptr, int num_threads = 1);
 
 }  // namespace dec

@@ -39,7 +39,10 @@ Graph::Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges)
     }
     max_degree_ = std::max(max_degree_, degree(v));
   }
+  edge_degrees_.resize(edges_.size());
   for (EdgeId e = 0; e < num_edges(); ++e) {
+    const auto [u, v] = edges_[static_cast<std::size_t>(e)];
+    edge_degrees_[static_cast<std::size_t>(e)] = degree(u) + degree(v) - 2;
     max_edge_degree_ = std::max(max_edge_degree_, edge_degree(e));
   }
 }

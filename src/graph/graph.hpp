@@ -49,10 +49,12 @@ class Graph {
                             offsets_[static_cast<std::size_t>(v)]);
   }
 
-  /// Line-graph degree of edge e: deg(u) + deg(v) - 2.
+  /// Line-graph degree of edge e: deg(u) + deg(v) - 2. Cached at
+  /// construction, so this is a single array load (it sits on the hot path
+  /// of every edge-coloring validity sweep).
   int edge_degree(EdgeId e) const {
-    const auto [u, v] = endpoints(e);
-    return degree(u) + degree(v) - 2;
+    DEC_REQUIRE(e >= 0 && e < num_edges(), "edge out of range");
+    return edge_degrees_[static_cast<std::size_t>(e)];
   }
 
   /// Maximum node degree Δ (0 for the empty graph).
@@ -95,6 +97,7 @@ class Graph {
   std::vector<std::pair<NodeId, NodeId>> edges_;
   std::vector<std::size_t> offsets_;  // n+1 entries
   std::vector<Incidence> adj_;        // 2m entries
+  std::vector<int> edge_degrees_;     // m entries, deg(u)+deg(v)-2 per edge
   int max_degree_ = 0;
   int max_edge_degree_ = 0;
 };

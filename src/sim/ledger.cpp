@@ -13,6 +13,16 @@ void RoundLedger::charge(const std::string& component, std::int64_t rounds) {
   by_component_[component] += rounds;
 }
 
+void RoundLedger::Counter::charge(std::int64_t rounds) {
+  DEC_REQUIRE(rounds >= 0, "cannot charge negative rounds");
+  if (slot_ == nullptr || generation_ != ledger_->generation_) {
+    slot_ = &ledger_->by_component_[name_];
+    generation_ = ledger_->generation_;
+  }
+  *slot_ += rounds;
+  ledger_->total_ += rounds;
+}
+
 void RoundLedger::charge_log_star(std::int64_t n, const std::string& component) {
   DEC_REQUIRE(n >= 0, "negative n");
   charge(component, log_star(static_cast<double>(n)));
@@ -41,6 +51,7 @@ void RoundLedger::merge(const RoundLedger& other) {
 void RoundLedger::reset() {
   total_ = 0;
   by_component_.clear();
+  ++generation_;  // invalidate outstanding Counter slot caches
 }
 
 }  // namespace dec

@@ -16,6 +16,30 @@ namespace dec {
 
 class RoundLedger {
  public:
+  /// Cached handle to one component's counter. Charging through a Counter
+  /// skips the per-charge string map lookup — SyncNetwork charges once per
+  /// simulated round, which puts plain charge() on the round hot path. The
+  /// handle survives reset(): it revalidates lazily via a generation tag.
+  class Counter {
+   public:
+    void charge(std::int64_t rounds);
+
+   private:
+    friend class RoundLedger;
+    Counter(RoundLedger* ledger, std::string name)
+        : ledger_(ledger), name_(std::move(name)) {}
+
+    RoundLedger* ledger_;
+    std::string name_;
+    std::int64_t* slot_ = nullptr;    // cached map slot (stable in std::map)
+    std::uint64_t generation_ = 0;    // matches ledger_->generation_ if valid
+  };
+
+  /// Make a cached charging handle for `component`.
+  Counter counter(std::string component) {
+    return Counter(this, std::move(component));
+  }
+
   /// Add `rounds` rounds attributed to `component`.
   void charge(const std::string& component, std::int64_t rounds);
 
@@ -45,6 +69,7 @@ class RoundLedger {
  private:
   std::int64_t total_ = 0;
   std::map<std::string, std::int64_t> by_component_;
+  std::uint64_t generation_ = 1;  // bumped by reset() to invalidate Counters
 };
 
 }  // namespace dec

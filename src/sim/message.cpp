@@ -1,33 +1,38 @@
 #include "sim/message.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace dec {
 
-int field_bits(std::int64_t v) {
-  const std::uint64_t mag =
-      v >= 0 ? static_cast<std::uint64_t>(v)
-             : static_cast<std::uint64_t>(-(v + 1));  // |v|-1 for negatives
-  const int mag_bits = mag == 0 ? 1 : 64 - std::countl_zero(mag);
-  return mag_bits + 1;  // + sign bit
+void Message::grow(std::size_t needed) {
+  const std::size_t new_cap =
+      std::max<std::size_t>(needed, static_cast<std::size_t>(cap_) * 2);
+  std::int64_t* fresh = slab_ != nullptr ? slab_->allocate(new_cap)
+                                         : new std::int64_t[new_cap];
+  const std::int64_t* src = data();
+  for (std::uint32_t i = 0; i < size_; ++i) fresh[i] = src[i];
+  release_heap();
+  ext_ = fresh;
+  owns_ext_ = slab_ == nullptr;
+  cap_ = static_cast<std::uint32_t>(new_cap);
 }
 
-int message_bits(const Message& m) {
-  int total = 0;
-  for (const std::int64_t v : m.fields) total += field_bits(v);
-  return total;
-}
-
-void CongestAudit::observe(const Message& m) {
-  if (m.empty()) return;
-  ++messages_;
-  const int bits = message_bits(m);
-  if (bits > max_bits_) max_bits_ = bits;
+void Message::release_heap() {
+  if (owns_ext_) {
+    delete[] ext_;
+    owns_ext_ = false;
+  }
 }
 
 void CongestAudit::reset() {
   max_bits_ = 0;
   messages_ = 0;
+}
+
+void CongestAudit::merge(const CongestAudit& other) {
+  max_bits_ = std::max(max_bits_, other.max_bits_);
+  messages_ += other.messages_;
 }
 
 }  // namespace dec

@@ -4,41 +4,163 @@
 // of every message as the sum of the minimal two's-complement widths of its
 // integer fields; the per-round maximum feeds the CongestAudit so that
 // Theorem 1.2's bandwidth claim can be checked empirically (EXP-J).
+//
+// Storage model: a Message keeps up to kInlineFields fields inline (no heap
+// traffic — every message in the paper's algorithms is 1-2 fields). Wider
+// payloads spill: into the bound MessageSlab arena when the message is a
+// SyncNetwork slot (bind_slab), or onto the heap for standalone messages.
+// Slot messages additionally carry an epoch tag, stamped by the network, so
+// that slot validity is a tag comparison instead of a per-round clear sweep.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <span>
+
+#include "sim/slab.hpp"
+#include "util/check.hpp"
 
 namespace dec {
 
-struct Message {
-  std::vector<std::int64_t> fields;
+class Message {
+ public:
+  /// Fields stored without any spill; sized so the paper's algorithms (which
+  /// send 1-2 fields) never leave inline storage.
+  static constexpr std::size_t kInlineFields = 4;
 
   Message() = default;
-  explicit Message(std::initializer_list<std::int64_t> init) : fields(init) {}
+  Message(std::initializer_list<std::int64_t> init) { assign(init); }
 
-  bool empty() const { return fields.empty(); }
-  void clear() { fields.clear(); }
-  void push(std::int64_t v) { fields.push_back(v); }
+  Message(const Message& o) { copy_payload_from(o); }
 
-  std::int64_t at(std::size_t i) const { return fields.at(i); }
-  std::size_t size() const { return fields.size(); }
+  /// Copy assignment copies the payload only. The destination keeps its own
+  /// slab binding and epoch tag — this is what lets user code write
+  /// `outbox[i] = Message{...}` without detaching the slot from the network's
+  /// arena or un-stamping the slot validity tag.
+  Message& operator=(const Message& o) {
+    if (this != &o) copy_payload_from(o);
+    return *this;
+  }
+
+  ~Message() { release_heap(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Drop all fields. Keeps current storage (and slab binding), so repeated
+  /// clear/push cycles on a spilled message do not reallocate.
+  void clear() { size_ = 0; }
+
+  void push(std::int64_t v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+
+  /// Replace the payload wholesale (clear + push each).
+  void assign(std::initializer_list<std::int64_t> init) {
+    size_ = 0;
+    if (init.size() > cap_) grow(init.size());
+    std::int64_t* d = data();
+    for (const std::int64_t v : init) d[size_++] = v;
+  }
+
+  std::int64_t at(std::size_t i) const {
+    DEC_REQUIRE(i < size_, "message field index out of range");
+    return data()[i];
+  }
+
+  std::span<const std::int64_t> fields() const { return {data(), size_}; }
+
+  // ---- substrate hooks (used by SyncNetwork; harmless elsewhere) ----
+
+  /// True when the payload lives outside the inline buffer (tests/stats).
+  bool spilled() const { return ext_ != nullptr; }
+
+  /// Future spills of this message go to `slab` instead of the heap. The
+  /// binding survives clear()/assignment; the caller owns slab lifetime.
+  void bind_slab(MessageSlab* slab) { slab_ = slab; }
+
+  /// Forget any spill storage and return to the inline buffer, empty. Heap
+  /// spills are freed; slab spills are simply dropped (the arena reclaims
+  /// them in bulk at its next reset). Used by the network's lazy slot clear,
+  /// which must not touch storage that a slab reset already invalidated.
+  void reset_storage() {
+    release_heap();
+    ext_ = nullptr;
+    cap_ = kInlineFields;
+    size_ = 0;
+  }
+
+  /// Slot-validity tag, owned by SyncNetwork: a slot's payload is live only
+  /// when its epoch matches the network's current round epoch.
+  std::uint32_t epoch() const { return epoch_; }
+  void set_epoch(std::uint32_t e) { epoch_ = e; }
+
+ private:
+  const std::int64_t* data() const { return ext_ != nullptr ? ext_ : inline_; }
+  std::int64_t* data() { return ext_ != nullptr ? ext_ : inline_; }
+
+  void copy_payload_from(const Message& o) {
+    size_ = 0;
+    if (o.size_ > cap_) grow(o.size_);
+    std::int64_t* d = data();
+    const std::int64_t* s = o.data();
+    for (std::uint32_t i = 0; i < o.size_; ++i) d[i] = s[i];
+    size_ = o.size_;
+  }
+
+  void grow(std::size_t needed);
+  void release_heap();
+
+  std::int64_t inline_[kInlineFields];
+  std::int64_t* ext_ = nullptr;   // spill storage (slab block or owned heap)
+  MessageSlab* slab_ = nullptr;   // spill target; null -> heap
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInlineFields;
+  std::uint32_t epoch_ = 0;
+  bool owns_ext_ = false;  // ext_ is heap-owned (delete[] on release)
 };
 
+/// Canonical empty message, returned for inbox slots whose epoch tag is
+/// stale (i.e. nothing was sent on that edge this round).
+inline const Message kEmptyMessage{};
+
 /// Minimal bit width of one signed field (sign bit + magnitude bits).
-int field_bits(std::int64_t v);
+/// Branch-free: for v >= 0 the magnitude is v, for v < 0 it is |v| - 1
+/// (two's complement needs one fewer magnitude bit on the negative side,
+/// e.g. -1 fits in sign + 1 bit, INT64_MIN in sign + 63 bits).
+inline int field_bits(std::int64_t v) {
+  const std::uint64_t u = static_cast<std::uint64_t>(v);
+  const std::uint64_t mag = u ^ static_cast<std::uint64_t>(v >> 63);
+  return std::bit_width(mag | 1) + 1;  // |1: zero still costs a magnitude bit
+}
 
 /// Total semantic bit width of a message (0 for the empty message, which
 /// models "send nothing").
-int message_bits(const Message& m);
+inline int message_bits(const Message& m) {
+  int total = 0;
+  for (const std::int64_t v : m.fields()) total += field_bits(v);
+  return total;
+}
 
 /// Tracks the maximum message width seen, per run.
 class CongestAudit {
  public:
-  void observe(const Message& m);
+  void observe(const Message& m) {
+    if (m.empty()) return;
+    ++messages_;
+    const int bits = message_bits(m);
+    if (bits > max_bits_) max_bits_ = bits;
+  }
   int max_bits() const { return max_bits_; }
   std::int64_t messages_sent() const { return messages_; }
   void reset();
+
+  /// Fold another audit into this one (max of widths, sum of counts). Both
+  /// operations are order-independent, so merging per-shard accumulators at
+  /// the round barrier is deterministic regardless of thread scheduling.
+  void merge(const CongestAudit& other);
 
  private:
   int max_bits_ = 0;

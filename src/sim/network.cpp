@@ -1,32 +1,47 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 namespace dec {
 
 SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
-                         std::string component)
-    : g_(&g), ledger_(ledger), component_(std::move(component)) {
+                         std::string component, int num_threads)
+    : g_(&g), ledger_(ledger), num_threads_(num_threads) {
+  if (ledger_ != nullptr) {
+    counter_.emplace(ledger_->counter(std::move(component)));
+  }
+  DEC_REQUIRE(num_threads_ >= 1, "num_threads must be >= 1");
   offsets_.assign(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     offsets_[static_cast<std::size_t>(v) + 1] =
         offsets_[static_cast<std::size_t>(v)] + g.neighbors(v).size();
   }
   const std::size_t slots = offsets_.back();
-  inbox_.assign(slots, Message{});
-  outbox_.assign(slots, Message{});
+  // Slot indices are stored as uint32 (peer permutation, touched lists);
+  // int32 edge ids keep 2m below 2^32, but guard against silent wrap if
+  // that ever changes.
+  DEC_REQUIRE(slots <= static_cast<std::size_t>(UINT32_MAX) - 1,
+              "slot plane too large for 32-bit slot indices");
+  buf_a_.assign(slots, Message{});
+  buf_b_.assign(slots, Message{});
+  out_ = buf_a_.data();
+  in_ = buf_b_.data();
 
   // Where does the message written at slot (v, i) arrive? At the slot of the
   // same edge in the neighbor's adjacency. Pair up the two slots per edge.
   peer_slot_.assign(slots, 0);
-  std::vector<std::size_t> first_slot_of_edge(
-      static_cast<std::size_t>(g.num_edges()), static_cast<std::size_t>(-1));
+  std::vector<std::uint32_t> first_slot_of_edge(
+      static_cast<std::size_t>(g.num_edges()),
+      static_cast<std::uint32_t>(-1));
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     const auto nb = g.neighbors(v);
     for (std::size_t i = 0; i < nb.size(); ++i) {
-      const std::size_t slot = offsets_[static_cast<std::size_t>(v)] + i;
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(offsets_[static_cast<std::size_t>(v)] + i);
       auto& first = first_slot_of_edge[static_cast<std::size_t>(nb[i].edge)];
-      if (first == static_cast<std::size_t>(-1)) {
+      if (first == static_cast<std::uint32_t>(-1)) {
         first = slot;
       } else {
         peer_slot_[slot] = first;
@@ -34,26 +49,94 @@ SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
       }
     }
   }
-}
 
-void SyncNetwork::round(const StepFn& fn) {
-  for (auto& m : outbox_) m.clear();
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
-    const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
-    const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
-    fn(v, std::span<const Message>(inbox_.data() + lo, deg),
-       std::span<Message>(outbox_.data() + lo, deg));
+  // Shard nodes into contiguous ranges balanced by slot count, and bind each
+  // buffer's slots in a shard to that shard's per-buffer slab so spills stay
+  // thread-local and arena-backed.
+  num_threads_ = std::max(1, std::min<int>(num_threads_, g.num_nodes() + 1));
+  shards_.resize(static_cast<std::size_t>(num_threads_));
+  shard_begin_.assign(static_cast<std::size_t>(num_threads_) + 1,
+                      g.num_nodes());
+  shard_begin_[0] = 0;
+  {
+    NodeId v = 0;
+    for (int s = 0; s < num_threads_; ++s) {
+      shard_begin_[static_cast<std::size_t>(s)] = v;
+      const std::size_t target =
+          (slots * (static_cast<std::size_t>(s) + 1)) /
+          static_cast<std::size_t>(num_threads_);
+      while (v < g.num_nodes() &&
+             offsets_[static_cast<std::size_t>(v)] < target) {
+        ++v;
+      }
+    }
+    shard_begin_.back() = g.num_nodes();
   }
-  // Deliver: outbox slot (v,i) -> inbox slot of the peer endpoint.
-  for (auto& m : inbox_) m.clear();
-  for (std::size_t slot = 0; slot < outbox_.size(); ++slot) {
-    audit_.observe(outbox_[slot]);
-    if (!outbox_[slot].empty()) {
-      inbox_[peer_slot_[slot]] = std::move(outbox_[slot]);
+  for (int s = 0; s < num_threads_; ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    const std::size_t lo =
+        offsets_[static_cast<std::size_t>(shard_begin_[s])];
+    const std::size_t hi =
+        offsets_[static_cast<std::size_t>(shard_begin_[s + 1])];
+    for (std::size_t slot = lo; slot < hi; ++slot) {
+      buf_a_[slot].bind_slab(&sh.slab_a);
+      buf_b_[slot].bind_slab(&sh.slab_b);
     }
   }
-  ++rounds_;
-  if (ledger_ != nullptr) ledger_->charge(component_, 1);
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
 }
+
+void SyncNetwork::begin_round() {
+  ++epoch_;
+  // The buffer about to be written was the inbox two rounds ago; its spill
+  // arenas can be rewound now that that round's reads are long done. Stale
+  // slot payloads may dangle into the rewound arena, but a stale slot is
+  // reset (reset_storage) before first use and never read through an Inbox.
+  for (Shard& sh : shards_) {
+    (out_is_a_ ? sh.slab_a : sh.slab_b).reset();
+  }
+}
+
+// A node program threw mid-round (DEC_CHECK is the library's failure mode).
+// Undo the partial round so the network stays usable: un-stamp and empty
+// every slot written this round (epoch 0 is never a write epoch, so the
+// slots read as stale/empty and lazily reset on their next use), drop the
+// per-shard audit/touched state, and rewind the epoch. The inbox buffer is
+// untouched, so the previous round's delivery is still readable.
+void SyncNetwork::abort_round() {
+  for (Shard& sh : shards_) {
+    for (const std::uint32_t s : sh.touched) {
+      out_[s].reset_storage();
+      out_[s].set_epoch(0);
+    }
+    sh.touched.clear();
+    sh.audit.reset();
+  }
+  --epoch_;
+}
+
+void SyncNetwork::finish_round() {
+  for (Shard& sh : shards_) {
+    audit_.merge(sh.audit);
+    sh.audit.reset();
+    sh.touched.clear();
+  }
+  // Delivery: the peer permutation is baked into Inbox reads, so handing the
+  // written buffer to the readers is a pointer swap.
+  std::swap(in_, out_);
+  out_is_a_ = !out_is_a_;
+  ++rounds_;
+  if (counter_.has_value()) counter_->charge(1);
+}
+
+ParallelSyncNetwork::ParallelSyncNetwork(const Graph& g, RoundLedger* ledger,
+                                         std::string component,
+                                         int num_threads)
+    : SyncNetwork(g, ledger, std::move(component),
+                  num_threads > 0
+                      ? num_threads
+                      : std::max(1u, std::thread::hardware_concurrency())) {}
 
 }  // namespace dec

@@ -3,57 +3,270 @@
 // This is the LOCAL / CONGEST model: computation proceeds in rounds; in each
 // round every node reads the messages its neighbors sent in the previous
 // round, computes, and writes one (possibly empty) message per incident
-// edge. The simulator executes nodes in id order within a round, but node
-// callbacks only ever see last-round messages plus their own state, so the
-// execution is equivalent to a fully parallel round.
+// edge. Node callbacks only ever see last-round messages plus their own
+// state, so execution order within a round is unobservable and the engine is
+// free to run nodes serially (id order) or sharded across threads.
 //
-// Inbox/outbox slots are indexed parallel to Graph::neighbors(v): slot i of
-// node v corresponds to the edge g.neighbors(v)[i].
+// Substrate architecture (the round hot path is allocation-free):
+//
+//  * Flat slot plane. Message slots live in two flat arrays of 2m
+//    small-buffer-optimized Messages, indexed CSR-style: slot offsets_[v]+i
+//    belongs to incidence i of node v. Payloads up to
+//    Message::kInlineFields stay inline; wider payloads spill into a
+//    per-shard MessageSlab arena (never the general heap), which is bulk
+//    reset at the round boundary. Each buffer generation owns its own slab
+//    set so spilled inbox payloads survive while the outbox refills.
+//
+//  * Epoch-tagged validity, no clear sweeps. Every slot carries an epoch
+//    tag. A round bumps the network epoch; an outbox slot is lazily reset
+//    the first time the node program touches it (Outbox::operator[]), and an
+//    inbox slot is live only if its tag equals the epoch it was written in
+//    (Inbox::operator[] returns kEmptyMessage otherwise). Nothing ever
+//    iterates all 2m slots to clear them.
+//
+//  * Swap delivery. The outbox slot of (v, i) and the inbox slot it must
+//    arrive at are the two fixed slots of one edge, related by the
+//    precomputed peer_slot_ permutation. Inbox views read through that
+//    permutation, so delivery is a single buffer-pointer swap — no per-slot
+//    moves.
+//
+//  * Parallel round engine. With num_threads > 1 (see ParallelSyncNetwork),
+//    nodes are sharded into contiguous ranges balanced by slot count and run
+//    on a persistent ThreadPool. A node program only writes its own node's
+//    outbox slots and only reads the shared last-round inbox, so shards are
+//    data-race-free by construction. Each shard audits the slots it touched
+//    into a private CongestAudit; shard accumulators merge at the round
+//    barrier with order-independent ops (max / sum), so audits and results
+//    are bit-identical to the serial engine.
+//
+//  * round_fast<F>. Solver inner loops call the templated round to keep the
+//    node program a direct (inlinable) call; the std::function round() is a
+//    thin wrapper kept for convenience and type-erased contexts.
 #pragma once
 
 #include <functional>
-#include <span>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/ledger.hpp"
 #include "sim/message.hpp"
+#include "sim/slab.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace dec {
+
+/// Read-only view of one node's incoming messages for the current round.
+/// Entry i corresponds to g.neighbors(v)[i]; slots whose epoch tag is stale
+/// (neighbor sent nothing) read as the canonical empty message.
+class Inbox {
+ public:
+  Inbox(const Message* buf, const std::uint32_t* peer, std::size_t n,
+        std::uint32_t epoch)
+      : buf_(buf), peer_(peer), n_(n), epoch_(epoch) {}
+
+  const Message& operator[](std::size_t i) const {
+    const Message& m = buf_[peer_[i]];
+    return m.epoch() == epoch_ ? m : kEmptyMessage;
+  }
+
+  std::size_t size() const { return n_; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Message;
+    using reference = const Message&;
+    using pointer = const Message*;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const Inbox* box, std::size_t i) : box_(box), i_(i) {}
+    reference operator*() const { return (*box_)[i_]; }
+    pointer operator->() const { return &(*box_)[i_]; }
+    const_iterator& operator++() { ++i_; return *this; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const Inbox* box_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, n_}; }
+
+ private:
+  const Message* buf_;          // global inbox slot base
+  const std::uint32_t* peer_;   // this node's slice of the peer permutation
+  std::size_t n_;
+  std::uint32_t epoch_;
+};
+
+/// Write view of one node's outgoing slots for the current round. Slots are
+/// lazily reset on first touch (epoch-tag check), so untouched slots cost
+/// nothing and there is no per-round clear sweep.
+class Outbox {
+ public:
+  Outbox(Message* buf, std::size_t n, std::uint32_t epoch, std::uint32_t base,
+         std::vector<std::uint32_t>* touched)
+      : buf_(buf), n_(n), epoch_(epoch), base_(base), touched_(touched) {}
+
+  Message& operator[](std::size_t i) {
+    Message& m = buf_[i];
+    if (m.epoch() != epoch_) {
+      m.reset_storage();  // storage may point into a since-reset slab
+      m.set_epoch(epoch_);
+      touched_->push_back(base_ + static_cast<std::uint32_t>(i));
+    }
+    return m;
+  }
+
+  std::size_t size() const { return n_; }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Message;
+    using reference = Message&;
+    using pointer = Message*;
+    using difference_type = std::ptrdiff_t;
+
+    iterator(Outbox* box, std::size_t i) : box_(box), i_(i) {}
+    reference operator*() const { return (*box_)[i_]; }
+    pointer operator->() const { return &(*box_)[i_]; }
+    iterator& operator++() { ++i_; return *this; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    Outbox* box_;
+    std::size_t i_;
+  };
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, n_}; }
+
+ private:
+  Message* buf_;  // this node's first outbox slot
+  std::size_t n_;
+  std::uint32_t epoch_;
+  std::uint32_t base_;  // global slot index of buf_[0]
+  std::vector<std::uint32_t>* touched_;
+};
 
 class SyncNetwork {
  public:
   /// `component` names the ledger line that rounds are charged to; `ledger`
-  /// may be null (rounds still counted locally).
+  /// may be null (rounds still counted locally). `num_threads` > 1 enables
+  /// the parallel round engine (see ParallelSyncNetwork).
   explicit SyncNetwork(const Graph& g, RoundLedger* ledger = nullptr,
-                       std::string component = "network");
+                       std::string component = "network", int num_threads = 1);
 
   /// Node program for one round: read `inbox`, fill `outbox` (both sized
-  /// degree(v), outbox pre-cleared to empty messages).
-  using StepFn = std::function<void(NodeId v, std::span<const Message> inbox,
-                                    std::span<Message> outbox)>;
+  /// degree(v); outbox slots read as empty until written).
+  using StepFn =
+      std::function<void(NodeId v, const Inbox& inbox, Outbox& outbox)>;
 
   /// Execute one synchronous round and charge it to the ledger.
-  void round(const StepFn& fn);
+  void round(const StepFn& fn) { round_fast(fn); }
+
+  /// Same, but `fn` stays a concrete callable — no std::function type
+  /// erasure on the per-node call. Use this from solver inner loops. With
+  /// num_threads > 1, `fn` is invoked concurrently from pool workers and
+  /// must confine writes to its own node's state and outbox.
+  template <class F>
+  void round_fast(F&& fn) {
+    begin_round();
+    try {
+      if (pool_ != nullptr) {
+        pool_->run([&](int shard) { run_shard(fn, shard); });
+      } else {
+        run_shard(fn, 0);
+      }
+    } catch (...) {
+      abort_round();  // roll back to the pre-round state, then rethrow
+      throw;
+    }
+    finish_round();
+  }
 
   /// Rounds executed so far on this network.
   std::int64_t rounds_executed() const { return rounds_; }
 
   const CongestAudit& audit() const { return audit_; }
   const Graph& graph() const { return *g_; }
+  int num_threads() const { return num_threads_; }
+
+  // Slot-plane introspection (tests and tools).
+  std::size_t num_slots() const { return peer_slot_.size(); }
+  std::size_t slot(NodeId v, std::size_t i) const {
+    return offsets_[static_cast<std::size_t>(v)] + i;
+  }
+  std::size_t peer_slot(std::size_t s) const { return peer_slot_[s]; }
 
  private:
+  void begin_round();
+  void finish_round();
+  void abort_round();
+
+  template <class F>
+  void run_shard(F& fn, int shard) {
+    Shard& sh = shards_[static_cast<std::size_t>(shard)];
+    const std::uint32_t write_epoch = epoch_;
+    const std::uint32_t read_epoch = epoch_ - 1;
+    const NodeId vend = shard_begin_[static_cast<std::size_t>(shard) + 1];
+    for (NodeId v = shard_begin_[static_cast<std::size_t>(shard)]; v < vend;
+         ++v) {
+      const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
+      const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
+      const Inbox in(in_, peer_slot_.data() + lo, deg, read_epoch);
+      Outbox out(out_ + lo, deg, write_epoch,
+                 static_cast<std::uint32_t>(lo), &sh.touched);
+      fn(v, in, out);
+    }
+    // Audit this shard's sent slots while still on the worker; merged (max /
+    // sum, order-independent) at the barrier.
+    for (const std::uint32_t s : sh.touched) sh.audit.observe(out_[s]);
+  }
+
+  struct Shard {
+    MessageSlab slab_a, slab_b;  // spill arenas for buf_a_ / buf_b_ slots
+    std::vector<std::uint32_t> touched;
+    CongestAudit audit;
+  };
+
   const Graph* g_;
   RoundLedger* ledger_;
-  std::string component_;
+  std::optional<RoundLedger::Counter> counter_;  // cached ledger slot
   std::int64_t rounds_ = 0;
   CongestAudit audit_;
+  std::uint32_t epoch_ = 0;  // write epoch of the round in progress
 
-  // CSR-slot message buffers: slot = offsets_[v] + i for incidence i of v.
+  // CSR-slot plane: slot = offsets_[v] + i for incidence i of v.
   std::vector<std::size_t> offsets_;
-  std::vector<std::size_t> peer_slot_;  // where slot (v,i)'s message lands
-  std::vector<Message> inbox_, outbox_;
+  std::vector<std::uint32_t> peer_slot_;  // where slot (v,i)'s message lands
+  std::vector<Message> buf_a_, buf_b_;
+  Message* in_ = nullptr;   // delivered messages of the previous round
+  Message* out_ = nullptr;  // slots being written this round
+  bool out_is_a_ = true;
+
+  int num_threads_;
+  std::vector<NodeId> shard_begin_;  // num_threads_ + 1 node boundaries
+  std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+};
+
+/// SyncNetwork with the parallel round engine on: nodes are sharded across a
+/// persistent thread pool (num_threads = 0 picks hardware concurrency).
+/// Produces bit-identical results and audits to the serial engine.
+class ParallelSyncNetwork : public SyncNetwork {
+ public:
+  explicit ParallelSyncNetwork(const Graph& g, RoundLedger* ledger = nullptr,
+                               std::string component = "network",
+                               int num_threads = 0);
 };
 
 }  // namespace dec

@@ -1,0 +1,29 @@
+#include "sim/slab.hpp"
+
+#include <algorithm>
+
+namespace dec {
+
+std::int64_t* MessageSlab::allocate(std::size_t n) {
+  while (chunk_ < chunks_.size() && offset_ + n > chunks_[chunk_].size) {
+    ++chunk_;
+    offset_ = 0;
+  }
+  if (chunk_ == chunks_.size()) {
+    const std::size_t size = std::max(kChunkFields, n);
+    chunks_.push_back(Chunk{std::make_unique<std::int64_t[]>(size), size});
+    offset_ = 0;
+  }
+  std::int64_t* p = chunks_[chunk_].data.get() + offset_;
+  offset_ += n;
+  used_ += n;
+  return p;
+}
+
+void MessageSlab::reset() {
+  chunk_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace dec

@@ -1,0 +1,50 @@
+// Bump-pointer slab arena for spilled message payloads.
+//
+// SyncNetwork messages store up to Message::kInlineFields fields inline; wider
+// payloads spill into a MessageSlab owned by the network (one per shard per
+// buffer generation). Allocation is a pointer bump, deallocation is a bulk
+// reset() at the round boundary — individual blocks are never freed, so the
+// round hot path performs no general-heap traffic. Chunks are retained across
+// resets and reused, so a steady-state workload allocates nothing at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dec {
+
+class MessageSlab {
+ public:
+  MessageSlab() = default;
+  MessageSlab(const MessageSlab&) = delete;
+  MessageSlab& operator=(const MessageSlab&) = delete;
+  MessageSlab(MessageSlab&&) = default;
+  MessageSlab& operator=(MessageSlab&&) = default;
+
+  /// Bump-allocate storage for `n` fields. Never freed individually; the
+  /// block lives until the next reset().
+  std::int64_t* allocate(std::size_t n);
+
+  /// Rewind the arena. All previously allocated blocks become invalid, but
+  /// their chunks are kept for reuse.
+  void reset();
+
+  /// Fields currently allocated since the last reset (for tests/stats).
+  std::size_t used() const { return used_; }
+
+ private:
+  static constexpr std::size_t kChunkFields = 1 << 14;  // 128 KiB per chunk
+
+  struct Chunk {
+    std::unique_ptr<std::int64_t[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // index of the chunk currently bumped
+  std::size_t offset_ = 0;  // fields used within chunks_[chunk_]
+  std::size_t used_ = 0;    // total fields since last reset
+};
+
+}  // namespace dec

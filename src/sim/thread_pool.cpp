@@ -1,0 +1,61 @@
+#include "sim/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace dec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  DEC_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  pending_ = num_threads();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (first_error_ != nullptr) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace dec

@@ -69,6 +69,19 @@ TEST(Graph, EmptyGraph) {
   EXPECT_EQ(g.max_edge_degree(), 0);
 }
 
+TEST(Graph, EdgeDegreeCacheMatchesFormula) {
+  // edge_degree is served from the per-edge cache; it must agree with the
+  // defining formula deg(u) + deg(v) - 2 on every edge, and bounds-check.
+  Rng rng(7);
+  const Graph g = gen::gnp(60, 0.15, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_EQ(g.edge_degree(e), g.degree(u) + g.degree(v) - 2) << "edge " << e;
+  }
+  EXPECT_THROW(g.edge_degree(-1), CheckError);
+  EXPECT_THROW(g.edge_degree(g.num_edges()), CheckError);
+}
+
 TEST(Graph, EdgeDegreeFormulaMatchesLineGraph) {
   Rng rng(3);
   const Graph g = gen::gnp(40, 0.2, rng);

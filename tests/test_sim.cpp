@@ -1,11 +1,18 @@
 // Simulator tests: ledger accounting, message bit accounting, SyncNetwork
-// delivery semantics (synchrony, per-edge channels, audit).
+// delivery semantics (synchrony, per-edge channels, audit), the flat slot
+// plane (slab spill, peer pairing), and serial-vs-parallel equivalence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "coloring/linial.hpp"
 #include "graph/generators.hpp"
 #include "sim/ledger.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
+#include "sim/slab.hpp"
 
 namespace dec {
 namespace {
@@ -39,6 +46,20 @@ TEST(Ledger, MergeAndReset) {
   EXPECT_EQ(a.total(), 0);
 }
 
+TEST(Ledger, CounterHandleChargesAndSurvivesReset) {
+  RoundLedger l;
+  RoundLedger::Counter c = l.counter("net");
+  c.charge(2);
+  c.charge(3);
+  EXPECT_EQ(l.component("net"), 5);
+  EXPECT_EQ(l.total(), 5);
+  EXPECT_THROW(c.charge(-1), CheckError);
+  l.reset();
+  c.charge(1);  // handle revalidates against the cleared map
+  EXPECT_EQ(l.component("net"), 1);
+  EXPECT_EQ(l.total(), 1);
+}
+
 TEST(Ledger, ReportMentionsComponents) {
   RoundLedger l;
   l.charge("token_dropping", 7);
@@ -47,11 +68,85 @@ TEST(Ledger, ReportMentionsComponents) {
 }
 
 TEST(Message, FieldBits) {
-  EXPECT_EQ(field_bits(0), 2);   // 1 magnitude bit + sign
+  EXPECT_EQ(field_bits(0), 2);  // 1 magnitude bit + sign
   EXPECT_EQ(field_bits(1), 2);
   EXPECT_EQ(field_bits(2), 3);
   EXPECT_EQ(field_bits(-1), 2);
   EXPECT_EQ(field_bits(255), 9);
+}
+
+TEST(Message, FieldBitsNegativeAndExtremes) {
+  // Two's complement is asymmetric: -(2^k) fits in k+1 bits, 2^k needs k+2.
+  EXPECT_EQ(field_bits(-2), 2);  // "10" in two's complement
+  EXPECT_EQ(field_bits(-128), 8);
+  EXPECT_EQ(field_bits(128), 9);
+  EXPECT_EQ(field_bits(-129), 9);
+  EXPECT_EQ(field_bits(std::numeric_limits<std::int64_t>::min()), 64);
+  EXPECT_EQ(field_bits(std::numeric_limits<std::int64_t>::max()), 64);
+  EXPECT_EQ(field_bits(std::numeric_limits<std::int64_t>::min() + 1), 64);
+  // Symmetric pairs around zero: |v| and -(|v|+1) have equal width.
+  for (const std::int64_t v : {1, 2, 3, 7, 8, 1000, 123456789}) {
+    EXPECT_EQ(field_bits(v), field_bits(-v - 1)) << v;
+  }
+}
+
+TEST(Message, InlineStorageNoSpill) {
+  Message m;
+  for (std::size_t i = 0; i < Message::kInlineFields; ++i) {
+    m.push(static_cast<std::int64_t>(i * 10));
+  }
+  EXPECT_FALSE(m.spilled());
+  EXPECT_EQ(m.size(), Message::kInlineFields);
+  for (std::size_t i = 0; i < Message::kInlineFields; ++i) {
+    EXPECT_EQ(m.at(i), static_cast<std::int64_t>(i * 10));
+  }
+}
+
+TEST(Message, SpillsBeyondInlineCapacity) {
+  Message m;
+  for (std::int64_t i = 0; i < 100; ++i) m.push(i * i);
+  EXPECT_TRUE(m.spilled());
+  EXPECT_EQ(m.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.at(static_cast<std::size_t>(i)), i * i);
+  }
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  m.push(7);  // reuses the spill buffer
+  EXPECT_EQ(m.at(0), 7);
+}
+
+TEST(Message, CopySemantics) {
+  Message wide;
+  for (std::int64_t i = 0; i < 10; ++i) wide.push(i);
+  Message copy(wide);
+  wide.clear();
+  ASSERT_EQ(copy.size(), 10u);
+  EXPECT_EQ(copy.at(9), 9);
+  Message assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.size(), 10u);
+  assigned = Message{1, 2};
+  EXPECT_EQ(assigned.size(), 2u);
+  EXPECT_EQ(assigned.at(1), 2);
+}
+
+TEST(Message, SlabSpillUsesArenaNotHeap) {
+  MessageSlab slab;
+  Message m;
+  m.bind_slab(&slab);
+  for (std::int64_t i = 0; i < 20; ++i) m.push(i);
+  EXPECT_TRUE(m.spilled());
+  EXPECT_GT(slab.used(), 0u);
+  EXPECT_EQ(m.at(19), 19);
+  // After an arena reset the message must drop its (now invalid) block
+  // before reuse; reset_storage is the substrate's lazy-clear primitive.
+  slab.reset();
+  m.reset_storage();
+  EXPECT_FALSE(m.spilled());
+  EXPECT_TRUE(m.empty());
+  for (std::int64_t i = 0; i < 20; ++i) m.push(i + 1);
+  EXPECT_EQ(m.at(19), 20);
 }
 
 TEST(Message, MessageBitsAndAudit) {
@@ -66,19 +161,32 @@ TEST(Message, MessageBitsAndAudit) {
   EXPECT_EQ(audit.max_bits(), 0);
 }
 
+TEST(Message, AuditMergeIsOrderIndependent) {
+  CongestAudit a, b, merged_ab, merged_ba;
+  a.observe(Message{1000});
+  b.observe(Message{3});
+  b.observe(Message{7});
+  merged_ab.merge(a);
+  merged_ab.merge(b);
+  merged_ba.merge(b);
+  merged_ba.merge(a);
+  EXPECT_EQ(merged_ab.max_bits(), merged_ba.max_bits());
+  EXPECT_EQ(merged_ab.messages_sent(), merged_ba.messages_sent());
+  EXPECT_EQ(merged_ab.messages_sent(), 3);
+  EXPECT_EQ(merged_ab.max_bits(), field_bits(1000));
+}
+
 TEST(Network, DeliversAlongEdges) {
   const Graph g = gen::path(3);  // 0-1, 1-2
   SyncNetwork net(g);
   // Round 1: everyone sends its id on every incident edge.
-  net.round([](NodeId v, std::span<const Message> inbox,
-               std::span<Message> outbox) {
+  net.round([](NodeId v, const Inbox& inbox, Outbox& outbox) {
     EXPECT_TRUE(std::all_of(inbox.begin(), inbox.end(),
                             [](const Message& m) { return m.empty(); }));
     for (auto& m : outbox) m = Message{v};
   });
   // Round 2: check each node received exactly its neighbors' ids.
-  net.round([&](NodeId v, std::span<const Message> inbox,
-                std::span<Message>) {
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
     const auto nb = g.neighbors(v);
     ASSERT_EQ(inbox.size(), nb.size());
     for (std::size_t i = 0; i < nb.size(); ++i) {
@@ -94,14 +202,13 @@ TEST(Network, SynchronousSemantics) {
   const Graph g = gen::path(2);
   SyncNetwork net(g);
   bool saw_in_same_round = false;
-  net.round([&](NodeId v, std::span<const Message> inbox,
-                std::span<Message> outbox) {
+  net.round([&](NodeId v, const Inbox& inbox, Outbox& outbox) {
     if (v == 0) outbox[0] = Message{42};
     if (v == 1 && !inbox[0].empty()) saw_in_same_round = true;
   });
   EXPECT_FALSE(saw_in_same_round);
   bool saw_next_round = false;
-  net.round([&](NodeId v, std::span<const Message> inbox, std::span<Message>) {
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
     if (v == 1 && !inbox[0].empty() && inbox[0].at(0) == 42) {
       saw_next_round = true;
     }
@@ -112,15 +219,46 @@ TEST(Network, SynchronousSemantics) {
 TEST(Network, MessagesDoNotPersist) {
   const Graph g = gen::path(2);
   SyncNetwork net(g);
-  net.round([](NodeId v, std::span<const Message>, std::span<Message> out) {
+  net.round([](NodeId v, const Inbox&, Outbox& out) {
     if (v == 0) out[0] = Message{1};
   });
-  net.round([](NodeId, std::span<const Message>, std::span<Message>) {});
+  net.round([](NodeId, const Inbox&, Outbox&) {});
   // The round-1 message must be gone by round 3.
-  net.round([&](NodeId v, std::span<const Message> inbox, std::span<Message>) {
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
     if (v == 1) {
       EXPECT_TRUE(inbox[0].empty());
     }
+  });
+}
+
+TEST(Network, SpilledMessagesDeliverIntact) {
+  // Payloads wider than the inline buffer take the slab-arena path; they
+  // must round-trip bit-exact and must not leak into later rounds.
+  const Graph g = gen::star(4);
+  SyncNetwork net(g);
+  const std::size_t wide = Message::kInlineFields * 3;
+  net.round([&](NodeId v, const Inbox&, Outbox& out) {
+    if (v == 0) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        Message& m = out[i];
+        for (std::size_t k = 0; k < wide; ++k) {
+          m.push(static_cast<std::int64_t>(100 * (i + 1) + k));
+        }
+      }
+    }
+  });
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
+    if (v != 0) {
+      ASSERT_EQ(inbox.size(), 1u);
+      const Message& m = inbox[0];
+      ASSERT_EQ(m.size(), wide);
+      for (std::size_t k = 0; k < wide; ++k) {
+        EXPECT_EQ(m.at(k), static_cast<std::int64_t>(100 * v + k));
+      }
+    }
+  });
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
+    if (v != 0) EXPECT_TRUE(inbox[0].empty());
   });
 }
 
@@ -128,15 +266,15 @@ TEST(Network, ChargesLedger) {
   const Graph g = gen::cycle(4);
   RoundLedger l;
   SyncNetwork net(g, &l, "mycomp");
-  net.round([](NodeId, std::span<const Message>, std::span<Message>) {});
-  net.round([](NodeId, std::span<const Message>, std::span<Message>) {});
+  net.round([](NodeId, const Inbox&, Outbox&) {});
+  net.round([](NodeId, const Inbox&, Outbox&) {});
   EXPECT_EQ(l.component("mycomp"), 2);
 }
 
 TEST(Network, AuditTracksMaxBits) {
   const Graph g = gen::path(2);
   SyncNetwork net(g);
-  net.round([](NodeId v, std::span<const Message>, std::span<Message> out) {
+  net.round([](NodeId v, const Inbox&, Outbox& out) {
     if (v == 0) out[0] = Message{1023};
   });
   EXPECT_EQ(net.audit().max_bits(), field_bits(1023));
@@ -146,14 +284,14 @@ TEST(Network, AuditTracksMaxBits) {
 TEST(Network, PerEdgeChannelsAreIndependent) {
   const Graph g = gen::star(3);  // center 0
   SyncNetwork net(g);
-  net.round([&](NodeId v, std::span<const Message>, std::span<Message> out) {
+  net.round([&](NodeId v, const Inbox&, Outbox& out) {
     if (v == 0) {
       for (std::size_t i = 0; i < out.size(); ++i) {
         out[i] = Message{static_cast<std::int64_t>(100 + i)};
       }
     }
   });
-  net.round([&](NodeId v, std::span<const Message> inbox, std::span<Message>) {
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
     if (v != 0) {
       ASSERT_EQ(inbox.size(), 1u);
       ASSERT_FALSE(inbox[0].empty());
@@ -161,6 +299,144 @@ TEST(Network, PerEdgeChannelsAreIndependent) {
       EXPECT_EQ(inbox[0].at(0), 100 + (v - 1));
     }
   });
+}
+
+// Every slot's peer maps back to it, a slot is never its own peer, and the
+// two slots of a pair carry the same edge id with opposite owners.
+void check_peer_pairing(const Graph& g) {
+  SyncNetwork net(g);
+  ASSERT_EQ(net.num_slots(), static_cast<std::size_t>(2 * g.num_edges()));
+  std::vector<EdgeId> slot_edge(net.num_slots());
+  std::vector<NodeId> slot_owner(net.num_slots());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      slot_edge[net.slot(v, i)] = nb[i].edge;
+      slot_owner[net.slot(v, i)] = v;
+    }
+  }
+  for (std::size_t s = 0; s < net.num_slots(); ++s) {
+    const std::size_t p = net.peer_slot(s);
+    ASSERT_LT(p, net.num_slots());
+    EXPECT_NE(p, s);
+    EXPECT_EQ(net.peer_slot(p), s);                // involution
+    EXPECT_EQ(slot_edge[p], slot_edge[s]);         // one edge, two slots
+    EXPECT_EQ(slot_owner[p],                       // peer owned by the
+              g.other_endpoint(slot_edge[s],       // opposite endpoint
+                               slot_owner[s]));
+  }
+}
+
+TEST(Network, PeerSlotPairingRandom) {
+  Rng rng(11);
+  check_peer_pairing(gen::random_regular(64, 6, rng));
+  check_peer_pairing(gen::gnp(50, 0.2, rng));
+}
+
+TEST(Network, PeerSlotPairingGrid) { check_peer_pairing(gen::grid(7, 9)); }
+
+TEST(Network, PeerSlotPairingStar) { check_peer_pairing(gen::star(17)); }
+
+// Run the same deterministic node program on the serial and parallel
+// engines; states, audits, and round counts must match bit-for-bit.
+void check_engine_equivalence(const Graph& g) {
+  auto run = [&](int threads) {
+    SyncNetwork net(g, nullptr, "net", threads);
+    std::vector<std::int64_t> state(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      state[static_cast<std::size_t>(v)] = v;
+    }
+    for (int r = 0; r < 5; ++r) {
+      std::vector<std::int64_t> next(state);
+      net.round_fast([&](NodeId v, const Inbox& inbox, Outbox& out) {
+        std::int64_t acc = state[static_cast<std::size_t>(v)];
+        for (const Message& m : inbox) {
+          if (!m.empty()) acc += m.at(0) * 31 + m.size();
+        }
+        next[static_cast<std::size_t>(v)] = acc;
+        // Odd nodes stay silent every other round to exercise stale slots.
+        if (v % 2 == 0 || r % 2 == 0) {
+          for (auto& m : out) m = Message{acc, v};
+        }
+      });
+      state = std::move(next);
+    }
+    return std::tuple(state, net.audit().max_bits(),
+                      net.audit().messages_sent(), net.rounds_executed());
+  };
+  const auto serial = run(1);
+  const auto par4 = run(4);
+  EXPECT_EQ(serial, par4);
+  const auto par3 = run(3);
+  EXPECT_EQ(serial, par3);
+}
+
+TEST(ParallelNetwork, MatchesSerialOnRandomRegular) {
+  Rng rng(21);
+  check_engine_equivalence(gen::random_regular(200, 8, rng));
+}
+
+TEST(ParallelNetwork, MatchesSerialOnGrid) {
+  check_engine_equivalence(gen::grid(12, 17));
+}
+
+TEST(ParallelNetwork, MatchesSerialOnStar) {
+  // Star is the worst case for slot balancing: one node owns half the slots.
+  check_engine_equivalence(gen::star(101));
+}
+
+TEST(ParallelNetwork, LinialColoringIsBitIdentical) {
+  Rng rng(31);
+  const Graph g = gen::random_regular(300, 10, rng);
+  const LinialResult serial = linial_color(g);
+  const LinialResult parallel = linial_color(g, nullptr, {}, 0, 4);
+  EXPECT_EQ(serial.colors, parallel.colors);
+  EXPECT_EQ(serial.palette, parallel.palette);
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.max_message_bits, parallel.max_message_bits);
+}
+
+TEST(ParallelNetwork, PropagatesNodeProgramExceptions) {
+  const Graph g = gen::cycle(8);
+  SyncNetwork net(g, nullptr, "net", 4);
+  EXPECT_THROW(net.round_fast([](NodeId v, const Inbox&, Outbox&) {
+                 DEC_CHECK(v != 5, "boom from a pool worker");
+               }),
+               CheckError);
+}
+
+// A throwing round must roll back completely: no phantom audit entries, no
+// stale slot payloads, and delivery still works on the same network.
+void check_abort_recovery(int threads) {
+  const Graph g = gen::cycle(8);
+  SyncNetwork net(g, nullptr, "net", threads);
+  net.round([](NodeId v, const Inbox&, Outbox& out) {
+    for (auto& m : out) m = Message{v + 100};
+  });
+  EXPECT_THROW(net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
+                 for (auto& m : out) m = Message{v + 200};
+                 DEC_CHECK(v < 4, "boom mid-round");
+               }),
+               CheckError);
+  EXPECT_EQ(net.rounds_executed(), 1);
+  EXPECT_EQ(net.audit().messages_sent(), 16);  // only the successful round
+  // The aborted round's writes are gone; the round-1 delivery is intact.
+  net.round([&](NodeId v, const Inbox& inbox, Outbox&) {
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      ASSERT_FALSE(inbox[i].empty());
+      EXPECT_EQ(inbox[i].at(0), g.neighbors(v)[i].neighbor + 100);
+    }
+  });
+  net.round([](NodeId, const Inbox& inbox, Outbox&) {
+    for (const Message& m : inbox) EXPECT_TRUE(m.empty());
+  });
+  EXPECT_EQ(net.audit().messages_sent(), 16);
+}
+
+TEST(Network, AbortedRoundRollsBackSerial) { check_abort_recovery(1); }
+
+TEST(ParallelNetwork, AbortedRoundRollsBackParallel) {
+  check_abort_recovery(4);
 }
 
 }  // namespace
