@@ -2,7 +2,9 @@
 // simulator round overhead, generators, and the hot validation predicates.
 #include <benchmark/benchmark.h>
 
+#include "coloring/defective.hpp"
 #include "coloring/linial.hpp"
+#include "core/token_dropping.hpp"
 #include "graph/generators.hpp"
 #include "graph/line_graph.hpp"
 #include "graph/properties.hpp"
@@ -104,6 +106,58 @@ void BM_NetworkRoundSpill(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
 BENCHMARK(BM_NetworkRoundSpill)->Arg(1000)->Arg(10000);
+
+// Defective refine, legacy centralized vs. message-passing substrate
+// (Args are {n, engine} with 0 = legacy, 1 = substrate). Both engines walk
+// the identical class-step trajectory, so items/s compares the engines on
+// equal work: items = audited rounds x slot-plane size.
+void BM_DefectiveRefine(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 12, rng);
+  const LinialResult lin = linial_color(g);
+  const SolverEngine engine = state.range(1) == 0
+                                  ? SolverEngine::kLegacy
+                                  : SolverEngine::kMessagePassing;
+  const int threshold = g.max_degree() / 4 + 2;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const DefectiveResult r = defective_refine(
+        g, lin.colors, lin.palette, 4, threshold, 256, nullptr, engine);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.max_defect);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2 * g.num_edges());
+}
+BENCHMARK(BM_DefectiveRefine)->Args({1000, 0})->Args({1000, 1});
+
+// Token dropping, legacy vs. the directed adapter over the substrate
+// (Args are {width, engine}); items = audited rounds x arcs.
+void BM_TokenDropping(benchmark::State& state) {
+  Rng rng(8);
+  const int width = static_cast<int>(state.range(0));
+  const Digraph g = layered_game(10, width, 6, rng);
+  const SolverEngine engine = state.range(1) == 0
+                                  ? SolverEngine::kLegacy
+                                  : SolverEngine::kMessagePassing;
+  TokenDroppingParams p;
+  p.k = 64;
+  p.delta = 2;
+  p.alpha.assign(static_cast<std::size_t>(g.num_nodes()), 4);
+  std::vector<int> init(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& t : init) {
+    t = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p.k) + 1));
+  }
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const TokenDroppingResult r =
+        run_token_dropping(g, init, p, nullptr, engine);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.tokens_moved);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * g.num_arcs());
+}
+BENCHMARK(BM_TokenDropping)->Args({100, 0})->Args({100, 1});
 
 void BM_ProperEdgeColoringCheck(benchmark::State& state) {
   Rng rng(4);

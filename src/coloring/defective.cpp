@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/network.hpp"
 #include "util/prime.hpp"
 
 namespace dec {
@@ -28,88 +29,110 @@ int max_of(const std::vector<int>& v) {
   return best;
 }
 
-}  // namespace
-
-DefectiveResult defective_precolor(const Graph& g,
-                                   const std::vector<Color>& input,
-                                   int input_palette, int target_defect,
-                                   RoundLedger* ledger) {
-  DEC_REQUIRE(target_defect >= 1, "target defect must be >= 1");
-  DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
-  for (const Color c : input) {
-    DEC_REQUIRE(c >= 0 && c < input_palette, "input palette bound violated");
-  }
-  const NodeId n = g.num_nodes();
-  const std::int64_t m = std::max(1, input_palette);
-  const std::int64_t delta = std::max(1, g.max_degree());
-
-  // Smallest d such that q = next_prime(max(2, ceil(Δd / p))) covers m.
+struct PrecolorParams {
   std::int64_t q = 0;
   int d = 0;
-  for (d = 1;; ++d) {
-    q = static_cast<std::int64_t>(next_prime(static_cast<std::uint64_t>(
-        std::max<std::int64_t>(2, (delta * d + target_defect - 1) / target_defect))));
+};
+
+/// Smallest d such that q = next_prime(max(2, ceil(Δd / p))) covers m. The
+/// search uses only the globally known m, Δ, p, so both engines derive it
+/// without communication.
+PrecolorParams precolor_params(std::int64_t m, std::int64_t delta,
+                               int target_defect) {
+  PrecolorParams out;
+  for (out.d = 1;; ++out.d) {
+    out.q = static_cast<std::int64_t>(next_prime(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(2, (delta * out.d + target_defect - 1) /
+                                      target_defect))));
     std::int64_t cover = 1;
-    for (int i = 0; i <= d && cover < m; ++i) {
-      if (cover > m / q) {
+    for (int i = 0; i <= out.d && cover < m; ++i) {
+      if (cover > m / out.q) {
         cover = m;
       } else {
-        cover *= q;
+        cover *= out.q;
       }
     }
-    if (cover >= m) break;
-    DEC_CHECK(d < 64, "defective_precolor parameter search diverged");
+    if (cover >= m) return out;
+    DEC_CHECK(out.d < 64, "defective_precolor parameter search diverged");
   }
+}
 
-  DefectiveResult res;
-  res.palette = static_cast<int>(q * q);
-  res.colors.resize(static_cast<std::size_t>(n));
-  // One communication round: every node learns its neighbors' input colors
-  // and locally evaluates the polynomial construction.
-  for (NodeId v = 0; v < n; ++v) {
-    const std::int64_t mine = input[static_cast<std::size_t>(v)];
-    std::int64_t best_r = 0;
-    std::int64_t best_collisions = std::numeric_limits<std::int64_t>::max();
-    for (std::int64_t r = 0; r < q; ++r) {
-      const std::int64_t my_val = eval_digit_poly(mine, q, d, r);
-      std::int64_t coll = 0;
-      for (const Incidence& inc : g.neighbors(v)) {
-        const std::int64_t theirs =
-            input[static_cast<std::size_t>(inc.neighbor)];
-        if (eval_digit_poly(theirs, q, d, r) == my_val) ++coll;
-      }
-      if (coll < best_collisions) {
-        best_collisions = coll;
-        best_r = r;
-      }
-      if (coll == 0) break;
+/// Pick the evaluation point with the fewest collisions against the
+/// neighbor colors produced by `nbr(i)`, shared verbatim by both engines so
+/// their tie-breaking is identical by construction.
+template <class NbrFn>
+Color precolor_choose(std::int64_t mine, std::int64_t q, int d,
+                      std::size_t degree, NbrFn&& nbr) {
+  std::int64_t best_r = 0;
+  std::int64_t best_collisions = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t r = 0; r < q; ++r) {
+    const std::int64_t my_val = eval_digit_poly(mine, q, d, r);
+    std::int64_t coll = 0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      if (eval_digit_poly(nbr(i), q, d, r) == my_val) ++coll;
     }
-    const std::int64_t val = eval_digit_poly(mine, q, d, best_r);
-    res.colors[static_cast<std::size_t>(v)] =
-        static_cast<Color>(best_r * q + val);
+    if (coll < best_collisions) {
+      best_collisions = coll;
+      best_r = r;
+    }
+    if (coll == 0) break;
+  }
+  return static_cast<Color>(best_r * q + eval_digit_poly(mine, q, d, best_r));
+}
+
+DefectiveResult precolor_legacy(const Graph& g, const std::vector<Color>& input,
+                                const PrecolorParams& p, RoundLedger* ledger) {
+  const NodeId n = g.num_nodes();
+  DefectiveResult res;
+  res.palette = static_cast<int>(p.q * p.q);
+  res.colors.resize(static_cast<std::size_t>(n));
+  // One communication round, simulated centrally: every node reads its
+  // neighbors' input colors directly.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    res.colors[static_cast<std::size_t>(v)] = precolor_choose(
+        input[static_cast<std::size_t>(v)], p.q, p.d, nb.size(),
+        [&](std::size_t i) {
+          return static_cast<std::int64_t>(
+              input[static_cast<std::size_t>(nb[i].neighbor)]);
+        });
   }
   res.rounds = 1;
   if (ledger != nullptr) ledger->charge("defective_precolor", 1);
-  res.max_defect = max_of(vertex_defects(g, res.colors));
-  DEC_CHECK(res.max_defect <= target_defect,
-            "defective precolor exceeded its defect target");
   return res;
 }
 
-DefectiveResult defective_refine(const Graph& g,
-                                 const std::vector<Color>& classes,
-                                 int num_classes, int num_colors,
-                                 int move_threshold, int max_sweeps,
-                                 RoundLedger* ledger) {
-  DEC_REQUIRE(num_colors >= 2, "refine needs at least two colors");
-  DEC_REQUIRE(move_threshold >= (g.max_degree() / num_colors) + 1,
-              "threshold too tight: moving nodes could never settle");
-  DEC_REQUIRE(classes.size() == static_cast<std::size_t>(g.num_nodes()),
-              "class vector has wrong length");
-  for (const Color c : classes) {
-    DEC_REQUIRE(c >= 0 && c < num_classes, "class out of range");
-  }
+DefectiveResult precolor_message_passing(const Graph& g,
+                                         const std::vector<Color>& input,
+                                         const PrecolorParams& p,
+                                         RoundLedger* ledger,
+                                         int num_threads) {
+  const NodeId n = g.num_nodes();
+  DefectiveResult res;
+  res.palette = static_cast<int>(p.q * p.q);
+  res.colors.resize(static_cast<std::size_t>(n));
+  SyncNetwork net(g, ledger, "defective_precolor", num_threads);
+  // The one round: every node announces its input color on every edge.
+  net.round_fast([&](NodeId v, const Inbox&, Outbox& out) {
+    for (auto& m : out) {
+      m = Message{input[static_cast<std::size_t>(v)]};
+    }
+  });
+  // Receiving and the polynomial evaluation are local, hence free.
+  net.drain_fast([&](NodeId v, const Inbox& in) {
+    res.colors[static_cast<std::size_t>(v)] = precolor_choose(
+        input[static_cast<std::size_t>(v)], p.q, p.d, in.size(),
+        [&](std::size_t i) { return in[i].at(0); });
+  });
+  res.rounds = net.rounds_executed();
+  res.max_message_bits = net.audit().max_bits();
+  return res;
+}
 
+DefectiveResult refine_legacy(const Graph& g, const std::vector<Color>& classes,
+                              int num_classes, int num_colors,
+                              int move_threshold, int max_sweeps,
+                              RoundLedger* ledger) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = num_colors;
@@ -182,7 +205,158 @@ DefectiveResult defective_refine(const Graph& g,
     ++res.sweeps;
     if (!any_intent) res.converged = true;
   }
+  return res;
+}
 
+// Refine as a node program. The legacy class-step (intent round + move
+// round) pipelines onto the substrate one round late: round A of a
+// class-step applies the moves arbitrated in the previous step's round B
+// and announces current colors; round B refreshes each node's neighbor-color
+// cache and lets this class's over-threshold members broadcast an intent.
+// The final step's in-flight move decisions are consumed by a free drain.
+// Movers within a class-step are pairwise non-adjacent (smallest-id
+// priority), so the one-round lag changes no color any decision reads —
+// the engines are bit-identical, which the equivalence tests enforce.
+DefectiveResult refine_message_passing(const Graph& g,
+                                       const std::vector<Color>& classes,
+                                       int num_classes, int num_colors,
+                                       int move_threshold, int max_sweeps,
+                                       RoundLedger* ledger, int num_threads) {
+  const NodeId n = g.num_nodes();
+  DefectiveResult res;
+  res.palette = num_colors;
+  res.colors.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    res.colors[static_cast<std::size_t>(v)] =
+        classes[static_cast<std::size_t>(v)] % num_colors;
+  }
+
+  SyncNetwork net(g, ledger, "defective_refine", num_threads);
+
+  // Per-node neighbor-color cache, laid out on the network's own slot plane
+  // (slot (v, i) caches neighbor i's color), plus the node's own
+  // pending-intent flag. Node programs write only their own slice, so the
+  // state is shard-confined on the parallel engine.
+  std::vector<Color> nbr_color(net.num_slots(), 0);
+  std::vector<char> intent(static_cast<std::size_t>(n), 0);
+
+  // Consume the intent broadcasts of the previous round: an intender moves
+  // to its min-conflict color unless a smaller-id neighbor also intended
+  // (only same-class nodes intend in any given round, so message presence
+  // is the whole arbitration input).
+  auto apply_pending = [&](NodeId v, const Inbox& in) {
+    if (intent[static_cast<std::size_t>(v)] == 0) return;
+    intent[static_cast<std::size_t>(v)] = 0;
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i].neighbor < v && !in[i].empty()) return;  // lost priority
+    }
+    std::vector<int> count(static_cast<std::size_t>(num_colors), 0);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      ++count[static_cast<std::size_t>(nbr_color[net.slot(v, i)])];
+    }
+    Color best = 0;
+    for (Color c = 1; c < num_colors; ++c) {
+      if (count[static_cast<std::size_t>(c)] <
+          count[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    res.colors[static_cast<std::size_t>(v)] = best;
+  };
+
+  res.converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !res.converged; ++sweep) {
+    bool any_intent = false;
+    for (Color cls = 0; cls < num_classes; ++cls) {
+      // Round A: settle the previous step's arbitration, announce colors.
+      net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+        apply_pending(v, in);
+        for (auto& m : out) {
+          m = Message{res.colors[static_cast<std::size_t>(v)]};
+        }
+      });
+      // Round B: refresh caches; this class's over-threshold members
+      // broadcast an intent to move.
+      net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+        int defect = 0;
+        const Color mine = res.colors[static_cast<std::size_t>(v)];
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          const Color c = static_cast<Color>(in[i].at(0));
+          nbr_color[net.slot(v, i)] = c;
+          if (c == mine) ++defect;
+        }
+        if (classes[static_cast<std::size_t>(v)] != cls) return;
+        if (defect > move_threshold) {
+          intent[static_cast<std::size_t>(v)] = 1;
+          for (auto& m : out) m = Message{1};
+        }
+      });
+      if (!any_intent) {
+        any_intent = std::any_of(intent.begin(), intent.end(),
+                                 [](char c) { return c != 0; });
+      }
+    }
+    ++res.sweeps;
+    if (!any_intent) res.converged = true;
+  }
+  // The last class-step's arbitration is still in flight; consuming it is
+  // receive-side computation and costs no round.
+  net.drain_fast([&](NodeId v, const Inbox& in) { apply_pending(v, in); });
+
+  res.rounds = net.rounds_executed();
+  res.max_message_bits = net.audit().max_bits();
+  return res;
+}
+
+}  // namespace
+
+DefectiveResult defective_precolor(const Graph& g,
+                                   const std::vector<Color>& input,
+                                   int input_palette, int target_defect,
+                                   RoundLedger* ledger, SolverEngine engine,
+                                   int num_threads) {
+  DEC_REQUIRE(target_defect >= 1, "target defect must be >= 1");
+  DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
+  for (const Color c : input) {
+    DEC_REQUIRE(c >= 0 && c < input_palette, "input palette bound violated");
+  }
+  const std::int64_t m = std::max(1, input_palette);
+  const std::int64_t delta = std::max(1, g.max_degree());
+  const PrecolorParams p = precolor_params(m, delta, target_defect);
+
+  DefectiveResult res =
+      engine == SolverEngine::kLegacy
+          ? precolor_legacy(g, input, p, ledger)
+          : precolor_message_passing(g, input, p, ledger, num_threads);
+  res.max_defect = max_of(vertex_defects(g, res.colors));
+  DEC_CHECK(res.max_defect <= target_defect,
+            "defective precolor exceeded its defect target");
+  return res;
+}
+
+DefectiveResult defective_refine(const Graph& g,
+                                 const std::vector<Color>& classes,
+                                 int num_classes, int num_colors,
+                                 int move_threshold, int max_sweeps,
+                                 RoundLedger* ledger, SolverEngine engine,
+                                 int num_threads) {
+  DEC_REQUIRE(num_colors >= 2, "refine needs at least two colors");
+  DEC_REQUIRE(move_threshold >= (g.max_degree() / num_colors) + 1,
+              "threshold too tight: moving nodes could never settle");
+  DEC_REQUIRE(classes.size() == static_cast<std::size_t>(g.num_nodes()),
+              "class vector has wrong length");
+  for (const Color c : classes) {
+    DEC_REQUIRE(c >= 0 && c < num_classes, "class out of range");
+  }
+
+  DefectiveResult res =
+      engine == SolverEngine::kLegacy
+          ? refine_legacy(g, classes, num_classes, num_colors, move_threshold,
+                          max_sweeps, ledger)
+          : refine_message_passing(g, classes, num_classes, num_colors,
+                                   move_threshold, max_sweeps, ledger,
+                                   num_threads);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   if (!res.converged) {
     // The cap was generous; reaching it without meeting the contract means a
@@ -196,7 +370,8 @@ DefectiveResult defective_refine(const Graph& g,
 DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
-                                     RoundLedger* ledger) {
+                                     RoundLedger* ledger, SolverEngine engine,
+                                     int num_threads) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   const int delta = g.max_degree();
   const int target = static_cast<int>(eps * delta) + delta / 2;
@@ -226,8 +401,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
 
   // Half the ε budget to the precoloring defect, half to the refine margin.
   const int pre_defect = std::max(1, static_cast<int>(eps * delta / 2.0));
-  DefectiveResult pre =
-      defective_precolor(g, input, input_palette, pre_defect, ledger);
+  DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
+                                           ledger, engine, num_threads);
 
   const int margin = std::max(1, static_cast<int>(eps * delta / 4.0));
   // At small Δ the flat +margin +pre_defect headroom can exceed the Lemma
@@ -238,9 +413,11 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                           target));
   const int max_sweeps =
       64 + static_cast<int>(16.0 / (eps * eps) / std::max(1, delta));
-  DefectiveResult ref = defective_refine(g, pre.colors, pre.palette, 4,
-                                         threshold, max_sweeps, ledger);
+  DefectiveResult ref =
+      defective_refine(g, pre.colors, pre.palette, 4, threshold, max_sweeps,
+                       ledger, engine, num_threads);
   ref.rounds += pre.rounds;
+  ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   DEC_CHECK(ref.max_defect <= target,
             "Lemma 6.2 contract violated: defect exceeds εΔ + ⌊Δ/2⌋");
   return ref;
@@ -250,7 +427,9 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          const std::vector<Color>& input,
                                          int input_palette, int num_colors,
                                          int target_defect,
-                                         RoundLedger* ledger) {
+                                         RoundLedger* ledger,
+                                         SolverEngine engine,
+                                         int num_threads) {
   const int delta = g.max_degree();
   DEC_REQUIRE(target_defect >= delta / num_colors + 1,
               "target defect below the pigeonhole floor");
@@ -263,13 +442,15 @@ DefectiveResult defective_split_coloring(const Graph& g,
   // Precolor to O((Δ/p)²) classes with p = half the defect budget (when
   // possible), then refine.
   const int pre_defect = std::max(1, target_defect / 2);
-  DefectiveResult pre =
-      defective_precolor(g, input, input_palette, pre_defect, ledger);
+  DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
+                                           ledger, engine, num_threads);
   const int threshold = std::max(delta / num_colors + 1,
                                  target_defect - pre_defect);
-  DefectiveResult ref = defective_refine(g, pre.colors, pre.palette,
-                                         num_colors, threshold, 256, ledger);
+  DefectiveResult ref =
+      defective_refine(g, pre.colors, pre.palette, num_colors, threshold, 256,
+                       ledger, engine, num_threads);
   ref.rounds += pre.rounds;
+  ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   DEC_CHECK(ref.max_defect <= target_defect,
             "defective split contract violated");
   return ref;

@@ -21,12 +21,21 @@
 // `defective_4_coloring` composes the two per Lemma 6.2: an (εΔ + ⌊Δ/2⌋)-
 // defective 4-coloring, given an O(Δ²)-coloring, with rounds O(classes/ε²)
 // charged honestly (DESIGN.md §4.3 documents the substitution).
+// Both building blocks run as genuine node programs on SyncNetwork by
+// default (SolverEngine::kMessagePassing): precolor is one real
+// color-exchange round, refine is two real rounds per class-step (announce,
+// then intent/move-arbitration), each with per-round CongestAudit charges.
+// The original centralized implementations survive behind
+// SolverEngine::kLegacy so the cross-engine equivalence tests can prove the
+// port bit-exact; `num_threads` > 1 shards the node programs over the
+// parallel round engine with identical results.
 #pragma once
 
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
+#include "sim/engine.hpp"
 #include "sim/ledger.hpp"
 
 namespace dec {
@@ -38,6 +47,7 @@ struct DefectiveResult {
   int max_defect = 0;
   int sweeps = 0;       // refine only
   bool converged = true;
+  int max_message_bits = 0;  // CongestAudit of the message-passing engine
 };
 
 /// One-round defect/palette trade-off. Input: proper coloring with values in
@@ -46,7 +56,10 @@ struct DefectiveResult {
 DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
-                                   RoundLedger* ledger = nullptr);
+                                   RoundLedger* ledger = nullptr,
+                                   SolverEngine engine =
+                                       SolverEngine::kMessagePassing,
+                                   int num_threads = 1);
 
 /// Threshold local search over the classes of `classes` (any coloring with
 /// values in [0, num_classes); independence not required). Produces a
@@ -56,13 +69,19 @@ DefectiveResult defective_refine(const Graph& g,
                                  const std::vector<Color>& classes,
                                  int num_classes, int num_colors,
                                  int move_threshold, int max_sweeps,
-                                 RoundLedger* ledger = nullptr);
+                                 RoundLedger* ledger = nullptr,
+                                 SolverEngine engine =
+                                     SolverEngine::kMessagePassing,
+                                 int num_threads = 1);
 
 /// Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring from a proper O(Δ²)-coloring.
 DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
-                                     RoundLedger* ledger = nullptr);
+                                     RoundLedger* ledger = nullptr,
+                                     SolverEngine engine =
+                                         SolverEngine::kMessagePassing,
+                                     int num_threads = 1);
 
 /// General split: num_colors-coloring with defect ≤ target_defect, where
 /// target_defect must be ≥ ceil(Δ/num_colors) + 1. Used by Theorem D.4's
@@ -71,6 +90,9 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          const std::vector<Color>& input,
                                          int input_palette, int num_colors,
                                          int target_defect,
-                                         RoundLedger* ledger = nullptr);
+                                         RoundLedger* ledger = nullptr,
+                                         SolverEngine engine =
+                                             SolverEngine::kMessagePassing,
+                                         int num_threads = 1);
 
 }  // namespace dec

@@ -45,10 +45,12 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
     ++res.levels;
 
     // Lemma 6.2: defective 4-coloring of the current subgraph's nodes; the
-    // level-0 Linial coloring stays proper on every subgraph.
+    // level-0 Linial coloring stays proper on every subgraph. Runs as node
+    // programs on the substrate, sharded when num_threads > 1.
     RoundLedger local;
     const DefectiveResult def4 =
-        defective_4_coloring(cur.graph, lin.colors, lin.palette, eps1, &local);
+        defective_4_coloring(cur.graph, lin.colors, lin.palette, eps1, &local,
+                             SolverEngine::kMessagePassing, num_threads);
     res.rounds += def4.rounds;
     if (ledger != nullptr) ledger->charge("defective4", def4.rounds);
 

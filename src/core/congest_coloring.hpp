@@ -31,9 +31,10 @@ struct CongestColoringResult {
 };
 
 /// (8+O(ε))Δ-edge coloring in polylog(Δ) + O(log* n) rounds. `num_threads`
-/// runs the SyncNetwork-backed subroutines (Linial) on the parallel round
-/// engine (1 = serial, 0 = hardware concurrency); results are bit-identical
-/// across engines.
+/// runs the SyncNetwork-backed subroutines (Linial and the Lemma 6.2
+/// defective precolor/refine node programs) on the parallel round engine
+/// (1 = serial, 0 = hardware concurrency); results are bit-identical across
+/// engines.
 CongestColoringResult congest_edge_coloring(
     const Graph& g, double eps, ParamMode mode = ParamMode::kPractical,
     RoundLedger* ledger = nullptr, int num_threads = 1);

@@ -16,12 +16,21 @@
 // token per accepted request and retiring the edge. Theorem 4.3 bounds the
 // final slack on every active edge by
 //     2(α_u + α_v) + (deg(u)·deg(v)/(α_u·α_v) + deg(u)/α_u + deg(v)/α_v)·δ.
+//
+// By default the three rounds of each phase — sender announce, receiver
+// request, sender accept/transfer — execute as genuine node programs on the
+// directed adapter (DiNetwork over SyncNetwork), so round counts and message
+// widths are measured by the substrate's CongestAudit instead of asserted.
+// SolverEngine::kLegacy keeps the original centralized simulation for the
+// cross-engine equivalence tests; `num_threads` > 1 shards the node programs
+// over the parallel round engine with bit-identical results.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "sim/engine.hpp"
 #include "sim/ledger.hpp"
 #include "util/rng.hpp"
 
@@ -39,6 +48,7 @@ struct TokenDroppingResult {
   std::int64_t phases = 0;
   std::int64_t rounds = 0;        // communication rounds charged (3 / phase)
   std::int64_t tokens_moved = 0;
+  int max_message_bits = 0;       // CongestAudit of the message-passing engine
 };
 
 /// Run the distributed generalized token dropping algorithm.
@@ -48,7 +58,10 @@ struct TokenDroppingResult {
 TokenDroppingResult run_token_dropping(const Digraph& game,
                                        std::vector<int> initial_tokens,
                                        const TokenDroppingParams& params,
-                                       RoundLedger* ledger = nullptr);
+                                       RoundLedger* ledger = nullptr,
+                                       SolverEngine engine =
+                                           SolverEngine::kMessagePassing,
+                                       int num_threads = 1);
 
 /// Theorem 4.3's slack bound for arc (u, v) of `game` under `params`.
 double theorem_4_3_bound(const Digraph& game, const TokenDroppingParams& params,

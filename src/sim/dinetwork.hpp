@@ -1,0 +1,218 @@
+// Directed adapter over the undirected SyncNetwork slot plane.
+//
+// Token dropping (and the other Digraph solvers: balanced orientation,
+// defective 2EC) need per-arc message channels on an arbitrary digraph —
+// including anti-parallel pairs and parallel arcs, which the simple
+// undirected Graph underlying SyncNetwork cannot represent as distinct
+// edges. DiNetwork multiplexes them instead:
+//
+//  * Support graph. Every node pair joined by at least one arc becomes one
+//    undirected support edge, so the adapter inherits SyncNetwork's flat
+//    slot plane, epoch-tagged validity, swap delivery, per-round
+//    CongestAudit, and the parallel round engine unchanged.
+//
+//  * Lanes. The arcs between one node pair are the "lanes" of that support
+//    edge, ordered by arc id. Each arc carries an independent forward
+//    (tail→head) and backward (head→tail) sub-channel per round. A node's
+//    per-edge message is the concatenation of its lane payloads; with a
+//    single lane (the common case — no parallel or anti-parallel arcs
+//    between the pair) the payload goes on the wire unframed, so the audit
+//    sees exactly the solver's own bits. Multi-lane messages are
+//    length-prefixed per lane.
+//
+//  * Arc-indexed node programs. A node program addresses channels by its
+//    digraph incidence lists: it sends along its j-th out-arc / against its
+//    j-th in-arc, and reads what arrived along its j-th in-arc / against
+//    its j-th out-arc. Lane packing happens in per-arc scratch slots owned
+//    by the writing node, so programs stay data-race-free on the parallel
+//    engine by the same confinement argument as SyncNetwork's.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/network.hpp"
+
+namespace dec {
+
+/// Read-only view of one arc sub-channel's payload for the current round.
+/// Empty when the peer sent nothing on that channel.
+class ArcView {
+ public:
+  ArcView() = default;
+  ArcView(const std::int64_t* data, std::size_t n) : data_(data), n_(n) {}
+
+  bool empty() const { return n_ == 0; }
+  std::size_t size() const { return n_; }
+  std::int64_t at(std::size_t i) const {
+    DEC_REQUIRE(i < n_, "arc message field index out of range");
+    return data_[i];
+  }
+
+ private:
+  const std::int64_t* data_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+class DiNetwork;
+
+/// Incoming arc sub-channels of one node for the current round, indexed by
+/// the node's digraph incidence lists.
+class DiInbox {
+ public:
+  /// Payload that arrived along the node's j-th in-arc (sent by its tail).
+  ArcView along(std::size_t j) const;
+  /// Payload that arrived against the node's j-th out-arc (from its head).
+  ArcView against(std::size_t j) const;
+
+ private:
+  friend class DiNetwork;
+  DiInbox(const DiNetwork* net, NodeId v, const Inbox* in)
+      : net_(net), v_(v), in_(in) {}
+
+  const DiNetwork* net_;
+  NodeId v_;
+  const Inbox* in_;
+};
+
+/// Outgoing arc sub-channels of one node for the current round. Each send
+/// replaces the channel's payload wholesale; untouched channels send
+/// nothing.
+class DiOutbox {
+ public:
+  /// Send along the node's j-th out-arc (toward its head).
+  void along(std::size_t j, std::initializer_list<std::int64_t> fields);
+  /// Send against the node's j-th in-arc (back toward its tail).
+  void against(std::size_t j, std::initializer_list<std::int64_t> fields);
+
+ private:
+  friend class DiNetwork;
+  DiOutbox(DiNetwork* net, NodeId v) : net_(net), v_(v) {}
+
+  DiNetwork* net_;
+  NodeId v_;
+};
+
+class DiNetwork {
+ public:
+  /// Widest per-arc payload the adapter carries; matches the inline capacity
+  /// of a Message so single-lane sends never spill.
+  static constexpr std::size_t kMaxArcFields = Message::kInlineFields;
+
+  explicit DiNetwork(const Digraph& dg, RoundLedger* ledger = nullptr,
+                     std::string component = "dinetwork", int num_threads = 1);
+
+  /// Execute one synchronous round: `fn(v, inbox, outbox)` per node, then
+  /// lane packing onto the support network's slots. Charges one round.
+  template <class F>
+  void round_fast(F&& fn) {
+    net_.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+      clear_scratch(v);
+      const DiInbox din(this, v, &in);
+      DiOutbox dout(this, v);
+      fn(v, din, dout);
+      pack(v, out);
+    });
+  }
+
+  /// Read-only visit of the last round's deliveries (no sends, no round
+  /// charged) — see SyncNetwork::drain_fast.
+  template <class F>
+  void drain_fast(F&& fn) {
+    net_.drain_fast([&](NodeId v, const Inbox& in) {
+      const DiInbox din(this, v, &in);
+      fn(v, din);
+    });
+  }
+
+  std::int64_t rounds_executed() const { return net_.rounds_executed(); }
+  const CongestAudit& audit() const { return net_.audit(); }
+  const Digraph& digraph() const { return *dg_; }
+  int num_threads() const { return net_.num_threads(); }
+
+  // Lane-plane introspection (tests and tools).
+  const Graph& support() const { return support_; }
+  std::uint32_t lane(EdgeId arc) const {
+    return ref_[static_cast<std::size_t>(arc)].lane;
+  }
+  std::uint32_t lane_count(EdgeId arc) const {
+    return ref_[static_cast<std::size_t>(arc)].lane_count;
+  }
+
+ private:
+  friend class DiInbox;
+  friend class DiOutbox;
+
+  // Where arc `a` lives on the support slot plane: its lane within the
+  // support edge of its node pair, that edge's total lane count, and the
+  // edge's incidence index inside each endpoint's support adjacency.
+  struct ArcRef {
+    std::uint32_t lane;
+    std::uint32_t lane_count;
+    std::uint32_t tail_inc;
+    std::uint32_t head_inc;
+  };
+
+  static Graph build_support(const Digraph& dg);
+
+  void clear_scratch(NodeId v);
+  void pack(NodeId v, Outbox& out);
+  void send(std::size_t slot, std::initializer_list<std::int64_t> fields);
+  ArcView extract(const Message& m, const ArcRef& ref) const;
+
+  const Digraph* dg_;
+  Graph support_;
+  SyncNetwork net_;
+
+  std::vector<ArcRef> ref_;  // per arc
+
+  // Per-incidence packing lists: incidence I = soff_[v] + i owns the scratch
+  // slots pack_[pack_off_[I] .. pack_off_[I+1]), in lane order. A forward
+  // sub-channel's slot is its arc id, a backward one's is num_arcs + arc id.
+  std::vector<std::size_t> soff_;
+  std::vector<std::size_t> pack_off_;
+  std::vector<std::uint32_t> pack_;
+
+  // Per-arc-sub-channel scratch payloads (2 * num_arcs slots). A slot is
+  // written only by its owning node's program, cleared at the start of that
+  // node's step, and flushed by pack() — never shared across shards.
+  std::vector<std::uint32_t> scratch_len_;
+  std::vector<std::int64_t> scratch_fields_;
+};
+
+inline ArcView DiInbox::along(std::size_t j) const {
+  const auto in_arcs = net_->dg_->in(v_);
+  DEC_REQUIRE(j < in_arcs.size(), "in-arc index out of range");
+  const DiNetwork::ArcRef& ref =
+      net_->ref_[static_cast<std::size_t>(in_arcs[j].edge)];
+  return net_->extract((*in_)[ref.head_inc], ref);
+}
+
+inline ArcView DiInbox::against(std::size_t j) const {
+  const auto out_arcs = net_->dg_->out(v_);
+  DEC_REQUIRE(j < out_arcs.size(), "out-arc index out of range");
+  const DiNetwork::ArcRef& ref =
+      net_->ref_[static_cast<std::size_t>(out_arcs[j].edge)];
+  return net_->extract((*in_)[ref.tail_inc], ref);
+}
+
+inline void DiOutbox::along(std::size_t j,
+                            std::initializer_list<std::int64_t> fields) {
+  const auto out_arcs = net_->dg_->out(v_);
+  DEC_REQUIRE(j < out_arcs.size(), "out-arc index out of range");
+  net_->send(static_cast<std::size_t>(out_arcs[j].edge), fields);
+}
+
+inline void DiOutbox::against(std::size_t j,
+                              std::initializer_list<std::int64_t> fields) {
+  const auto in_arcs = net_->dg_->in(v_);
+  DEC_REQUIRE(j < in_arcs.size(), "in-arc index out of range");
+  net_->send(static_cast<std::size_t>(net_->dg_->num_arcs()) +
+                 static_cast<std::size_t>(in_arcs[j].edge),
+             fields);
+}
+
+}  // namespace dec

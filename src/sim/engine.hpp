@@ -1,0 +1,19 @@
+// Which execution engine an orchestrated solver runs on.
+//
+// PR 1 rebuilt the simulation substrate; solvers have been ported onto it as
+// genuine node programs (SyncNetwork::round_fast / DiNetwork) with per-round
+// CongestAudit charges. The original centralized implementations — which
+// simulate rounds by incrementing counters — are kept behind kLegacy for one
+// PR so the cross-engine equivalence harness can prove the ports bit-exact
+// (identical outputs AND identical audited round counts). Once that evidence
+// is in, kLegacy implementations can be deleted.
+#pragma once
+
+namespace dec {
+
+enum class SolverEngine {
+  kLegacy,          // centralized loops, rounds asserted via `res.rounds += k`
+  kMessagePassing,  // node programs on SyncNetwork/DiNetwork, rounds measured
+};
+
+}  // namespace dec

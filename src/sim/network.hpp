@@ -42,6 +42,21 @@
 //  * round_fast<F>. Solver inner loops call the templated round to keep the
 //    node program a direct (inlinable) call; the std::function round() is a
 //    thin wrapper kept for convenience and type-erased contexts.
+//
+//  * drain_fast<F>. Pipelined protocols whose last round still has messages
+//    in flight (the reply to round T is read in round T+1's program) finish
+//    with a drain: a read-only visit of the delivered inboxes that sends
+//    nothing, bumps no epoch, and charges no round — receiving and local
+//    post-processing are free in the LOCAL/CONGEST model, only sending
+//    rounds count.
+//
+//  * Directed adapter. Solvers on a Digraph (token dropping, orientation)
+//    run on DiNetwork (sim/dinetwork.hpp): arc-indexed sub-channels
+//    multiplexed as "lanes" onto the slots of an undirected support
+//    SyncNetwork, one slot pair per node pair with at least one arc. Each
+//    arc gets an independent forward (tail→head) and backward (head→tail)
+//    channel per round; the common single-arc-per-pair case costs zero
+//    framing overhead on the wire.
 #pragma once
 
 #include <functional>
@@ -191,6 +206,31 @@ class SyncNetwork {
       throw;
     }
     finish_round();
+  }
+
+  /// Read-only visit of the messages delivered by the last executed round:
+  /// `fn(v, inbox)` runs for every node, nothing is sent, no round is
+  /// charged. Receiving plus local computation is free in the round model;
+  /// pipelined solvers use this to consume their final round's replies.
+  /// Runs sharded under the parallel engine with the same confinement rules
+  /// as round_fast.
+  template <class F>
+  void drain_fast(F&& fn) {
+    auto visit = [&](int shard) {
+      const NodeId vend = shard_begin_[static_cast<std::size_t>(shard) + 1];
+      for (NodeId v = shard_begin_[static_cast<std::size_t>(shard)]; v < vend;
+           ++v) {
+        const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
+        const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
+        const Inbox in(in_, peer_slot_.data() + lo, deg, epoch_);
+        fn(v, in);
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->run(visit);
+    } else {
+      visit(0);
+    }
   }
 
   /// Rounds executed so far on this network.

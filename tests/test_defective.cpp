@@ -117,6 +117,38 @@ TEST(DefectiveSplit, RejectsPigeonholeViolation) {
       CheckError);
 }
 
+TEST(DefectiveRefine, PropertyThresholdSweep) {
+  // Property harness over ~50 seeded graphs: wherever the threshold local
+  // search converges on the message-passing engine, every node's defect is
+  // at most the move threshold, and the audited round count is exactly
+  // 2 rounds x classes x sweeps.
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(700 + static_cast<std::uint64_t>(seed));
+    const Graph g = seed % 2 == 0
+                        ? gen::gnp(60 + seed, 0.05 + 0.002 * (seed % 10), rng)
+                        : gen::random_regular(64 + 2 * (seed / 2),
+                                              4 + 2 * (seed % 4), rng);
+    if (g.max_degree() < 2) continue;
+    const LinialResult lin = linial_color(g);
+    const int threshold = g.max_degree() / 4 + 1 + seed % 3;
+    RoundLedger ledger;
+    const DefectiveResult r = defective_refine(g, lin.colors, lin.palette, 4,
+                                               threshold, 256, &ledger);
+    EXPECT_TRUE(r.converged) << "seed=" << seed;
+    EXPECT_LE(r.max_defect, threshold) << "seed=" << seed;
+    EXPECT_EQ(r.max_defect, max_defect(g, r.colors)) << "seed=" << seed;
+    EXPECT_EQ(r.rounds,
+              static_cast<std::int64_t>(2) * lin.palette * r.sweeps)
+        << "seed=" << seed;
+    EXPECT_EQ(ledger.component("defective_refine"), r.rounds)
+        << "seed=" << seed;
+    for (const Color c : r.colors) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 4);
+    }
+  }
+}
+
 // Property sweep: the Lemma 6.2 bound across graph families and ε.
 struct DefCase {
   int family;

@@ -1,0 +1,210 @@
+// Cross-engine equivalence harness: every orchestrated solver must produce
+// bit-identical outputs AND identical audited round counts on
+//   * the legacy centralized engine (rounds asserted via counters),
+//   * the message-passing engine (rounds measured on the substrate), and
+//   * the parallel message-passing engine (2 and 4 shards).
+// This is the evidence that lets the legacy implementations be deleted: the
+// paper's round-complexity claims are charged identically no matter which
+// engine executes them.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "coloring/defective.hpp"
+#include "coloring/linial.hpp"
+#include "core/token_dropping.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+// Everything that must match across engines (max_message_bits is
+// intentionally absent: the legacy engine sends no real messages).
+auto defective_key(const DefectiveResult& r) {
+  return std::tuple(r.colors, r.palette, r.rounds, r.max_defect, r.sweeps,
+                    r.converged);
+}
+
+auto token_key(const TokenDroppingResult& r) {
+  return std::tuple(r.tokens, r.edge_passive, r.phases, r.rounds,
+                    r.tokens_moved);
+}
+
+void check_precolor_equivalence(const Graph& g, int target_defect) {
+  const LinialResult lin = linial_color(g);
+  RoundLedger ledgers[4];
+  const DefectiveResult legacy =
+      defective_precolor(g, lin.colors, lin.palette, target_defect,
+                         &ledgers[0], SolverEngine::kLegacy);
+  const DefectiveResult runs[3] = {
+      defective_precolor(g, lin.colors, lin.palette, target_defect,
+                         &ledgers[1], SolverEngine::kMessagePassing, 1),
+      defective_precolor(g, lin.colors, lin.palette, target_defect,
+                         &ledgers[2], SolverEngine::kMessagePassing, 2),
+      defective_precolor(g, lin.colors, lin.palette, target_defect,
+                         &ledgers[3], SolverEngine::kMessagePassing, 4),
+  };
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(defective_key(legacy), defective_key(runs[i])) << "engine " << i;
+    EXPECT_EQ(ledgers[0].component("defective_precolor"),
+              ledgers[i + 1].component("defective_precolor"));
+    EXPECT_GT(runs[i].max_message_bits, 0);  // real messages were audited
+  }
+}
+
+void check_refine_equivalence(const Graph& g, int num_colors, int threshold) {
+  const LinialResult lin = linial_color(g);
+  RoundLedger ledgers[4];
+  const DefectiveResult legacy =
+      defective_refine(g, lin.colors, lin.palette, num_colors, threshold, 256,
+                       &ledgers[0], SolverEngine::kLegacy);
+  const DefectiveResult runs[3] = {
+      defective_refine(g, lin.colors, lin.palette, num_colors, threshold, 256,
+                       &ledgers[1], SolverEngine::kMessagePassing, 1),
+      defective_refine(g, lin.colors, lin.palette, num_colors, threshold, 256,
+                       &ledgers[2], SolverEngine::kMessagePassing, 2),
+      defective_refine(g, lin.colors, lin.palette, num_colors, threshold, 256,
+                       &ledgers[3], SolverEngine::kMessagePassing, 4),
+  };
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(defective_key(legacy), defective_key(runs[i])) << "engine " << i;
+    EXPECT_EQ(ledgers[0].component("defective_refine"),
+              ledgers[i + 1].component("defective_refine"));
+  }
+}
+
+void check_token_dropping_equivalence(const Digraph& g,
+                                      const TokenDroppingParams& p,
+                                      const std::vector<int>& init) {
+  RoundLedger ledgers[4];
+  const TokenDroppingResult legacy =
+      run_token_dropping(g, init, p, &ledgers[0], SolverEngine::kLegacy);
+  const TokenDroppingResult runs[3] = {
+      run_token_dropping(g, init, p, &ledgers[1],
+                         SolverEngine::kMessagePassing, 1),
+      run_token_dropping(g, init, p, &ledgers[2],
+                         SolverEngine::kMessagePassing, 2),
+      run_token_dropping(g, init, p, &ledgers[3],
+                         SolverEngine::kMessagePassing, 4),
+  };
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(token_key(legacy), token_key(runs[i])) << "engine " << i;
+    EXPECT_EQ(ledgers[0].component("token_dropping"),
+              ledgers[i + 1].component("token_dropping"));
+  }
+  if (legacy.tokens_moved > 0) {
+    for (int i = 0; i < 3; ++i) EXPECT_GT(runs[i].max_message_bits, 0);
+  }
+}
+
+std::vector<int> seeded_tokens(const Digraph& g, int k, Rng& rng) {
+  std::vector<int> t(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& v : t) {
+    v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(k) + 1));
+  }
+  return t;
+}
+
+TEST(EngineEquivalence, PrecolorRandom) {
+  Rng rng(101);
+  const Graph g = gen::gnp(150, 0.07, rng);
+  for (const int p : {1, 2, 5}) check_precolor_equivalence(g, p);
+}
+
+TEST(EngineEquivalence, PrecolorGrid) {
+  check_precolor_equivalence(gen::grid(11, 13), 1);
+  check_precolor_equivalence(gen::grid(11, 13), 3);
+}
+
+TEST(EngineEquivalence, PrecolorStar) {
+  // Worst case for shard balancing: the hub owns half the slots.
+  check_precolor_equivalence(gen::star(64), 2);
+}
+
+TEST(EngineEquivalence, RefineRandom) {
+  Rng rng(102);
+  const Graph g = gen::random_regular(120, 10, rng);
+  check_refine_equivalence(g, 4, 10 / 4 + 1);
+  check_refine_equivalence(g, 3, 10 / 3 + 2);
+}
+
+TEST(EngineEquivalence, RefineGrid) {
+  check_refine_equivalence(gen::grid(9, 14), 4, 2);
+}
+
+TEST(EngineEquivalence, RefineStar) {
+  check_refine_equivalence(gen::star(80), 4, 80 / 4 + 1);
+}
+
+TEST(EngineEquivalence, RefineHonorsSweepCapIdentically) {
+  // A threshold at the pigeonhole floor on a dense graph stresses many
+  // sweeps; whatever the trajectory, the engines must walk it in lockstep.
+  Rng rng(103);
+  const Graph g = gen::gnp(60, 0.3, rng);
+  check_refine_equivalence(g, 4, g.max_degree() / 4 + 1);
+}
+
+TEST(EngineEquivalence, TokenDroppingRandomGame) {
+  Rng rng(104);
+  const Digraph g = random_game(70, 0.08, rng);
+  TokenDroppingParams p;
+  p.k = 32;
+  p.delta = 2;
+  p.alpha.assign(static_cast<std::size_t>(g.num_nodes()), 4);
+  check_token_dropping_equivalence(g, p, seeded_tokens(g, p.k, rng));
+}
+
+TEST(EngineEquivalence, TokenDroppingLayeredGame) {
+  Rng rng(105);
+  const Digraph g = layered_game(5, 24, 4, rng);
+  TokenDroppingParams p;
+  p.k = 48;
+  p.delta = 3;
+  p.alpha.assign(static_cast<std::size_t>(g.num_nodes()), 5);
+  check_token_dropping_equivalence(g, p, seeded_tokens(g, p.k, rng));
+}
+
+TEST(EngineEquivalence, TokenDroppingAntiparallelStar) {
+  // Hub <-> leaf arcs in both directions: every support edge carries two
+  // lanes, exercising the adapter's multiplexed framing, and the hub makes
+  // shard balancing maximally uneven.
+  const NodeId leaves = 40;
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (NodeId i = 1; i <= leaves; ++i) {
+    arcs.emplace_back(0, i);
+    arcs.emplace_back(i, 0);
+  }
+  const Digraph g(leaves + 1, std::move(arcs));
+  TokenDroppingParams p;
+  p.k = 24;
+  p.delta = 2;
+  p.alpha.assign(static_cast<std::size_t>(g.num_nodes()), 3);
+  std::vector<int> init(static_cast<std::size_t>(g.num_nodes()), 0);
+  init[0] = p.k;  // the hub starts full and must shed load
+  for (NodeId i = 1; i <= leaves; ++i) {
+    init[static_cast<std::size_t>(i)] = (i % 2 == 0) ? p.k : 0;
+  }
+  check_token_dropping_equivalence(g, p, init);
+}
+
+TEST(EngineEquivalence, TokenDroppingSeededSweep) {
+  // Many small seeded instances so a divergence in any deterministic
+  // tie-break shows up somewhere.
+  for (int seed = 0; seed < 12; ++seed) {
+    Rng rng(200 + static_cast<std::uint64_t>(seed));
+    const Digraph g = seed % 2 == 0
+                          ? random_game(40 + seed, 0.1, rng)
+                          : layered_game(3 + seed % 3, 12, 3, rng);
+    TokenDroppingParams p;
+    p.k = 16 + 8 * (seed % 3);
+    p.delta = 1 + seed % 3;
+    p.alpha.assign(static_cast<std::size_t>(g.num_nodes()),
+                   p.delta + seed % 3);
+    check_token_dropping_equivalence(g, p, seeded_tokens(g, p.k, rng));
+  }
+}
+
+}  // namespace
+}  // namespace dec

@@ -439,5 +439,96 @@ TEST(ParallelNetwork, AbortedRoundRollsBackParallel) {
   check_abort_recovery(4);
 }
 
+// Stronger than per-engine recovery: after an identical scripted history —
+// including a round that throws mid-flight with wide (slab-spilled) partial
+// writes — the serial and parallel engines must be in bit-identical states:
+// same delivered payloads afterwards, same audit, same round count.
+void run_abort_script(SyncNetwork& net, const Graph& g,
+                      std::vector<std::int64_t>* delivered,
+                      std::int64_t* audit_msgs, int* audit_bits) {
+  const std::size_t wide = Message::kInlineFields * 2;
+  net.round_fast([&](NodeId v, const Inbox&, Outbox& out) {
+    for (auto& m : out) m = Message{v * 3 + 1};
+  });
+  EXPECT_THROW(net.round_fast([&](NodeId v, const Inbox&, Outbox& out) {
+                 for (auto& m : out) {
+                   for (std::size_t i = 0; i < wide; ++i) m.push(v + 1000);
+                 }
+                 DEC_CHECK(v < g.num_nodes() / 2, "boom mid-round");
+               }),
+               CheckError);
+  net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+    std::int64_t acc = 0;
+    for (const Message& m : in) {
+      acc = acc * 31 + (m.empty() ? -1 : m.at(0));
+    }
+    if (v % 2 == 0) {
+      for (auto& m : out) m = Message{acc, v};
+    }
+  });
+  // Collect into per-node slots (the network's own slot plane gives the
+  // indexing): drain programs run sharded, so each node may only write its
+  // own slice of the output.
+  delivered->assign(net.num_slots(), 0);
+  net.drain_fast([&](NodeId v, const Inbox& in) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      (*delivered)[net.slot(v, i)] = in[i].empty() ? -7 : in[i].at(0);
+    }
+  });
+  *audit_msgs = net.audit().messages_sent();
+  *audit_bits = net.audit().max_bits();
+}
+
+TEST(ParallelNetwork, AbortRollbackMatchesSerialEngine) {
+  Rng rng(41);
+  const Graph g = gen::random_regular(120, 6, rng);
+  std::vector<std::int64_t> serial_d, parallel_d;
+  std::int64_t serial_msgs = 0, parallel_msgs = 0;
+  int serial_bits = 0, parallel_bits = 0;
+  SyncNetwork serial(g);
+  run_abort_script(serial, g, &serial_d, &serial_msgs, &serial_bits);
+  ParallelSyncNetwork parallel(g, nullptr, "network", 4);
+  run_abort_script(parallel, g, &parallel_d, &parallel_msgs, &parallel_bits);
+  EXPECT_EQ(serial_d, parallel_d);
+  EXPECT_EQ(serial_msgs, parallel_msgs);
+  EXPECT_EQ(serial_bits, parallel_bits);
+  EXPECT_EQ(serial.rounds_executed(), parallel.rounds_executed());
+  EXPECT_EQ(serial.rounds_executed(), 2);  // the aborted round never counted
+}
+
+TEST(Network, DrainReadsLastDeliveryWithoutCharging) {
+  const Graph g = gen::path(3);
+  RoundLedger ledger;
+  SyncNetwork net(g, &ledger, "comp");
+  net.round([](NodeId v, const Inbox&, Outbox& out) {
+    for (auto& m : out) m = Message{v + 50};
+  });
+  // The drain sees exactly what a following round's inbox would, repeatably,
+  // and costs nothing.
+  for (int pass = 0; pass < 2; ++pass) {
+    int seen = 0;
+    net.drain_fast([&](NodeId v, const Inbox& in) {
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        ASSERT_FALSE(in[i].empty());
+        EXPECT_EQ(in[i].at(0), nb[i].neighbor + 50);
+        ++seen;
+      }
+    });
+    EXPECT_EQ(seen, 4);  // 2 edges, both directions
+  }
+  EXPECT_EQ(net.rounds_executed(), 1);
+  EXPECT_EQ(ledger.component("comp"), 1);
+}
+
+TEST(Network, DrainBeforeAnyRoundSeesOnlyEmpty) {
+  const Graph g = gen::cycle(5);
+  SyncNetwork net(g);
+  net.drain_fast([](NodeId, const Inbox& in) {
+    for (const Message& m : in) EXPECT_TRUE(m.empty());
+  });
+  EXPECT_EQ(net.rounds_executed(), 0);
+}
+
 }  // namespace
 }  // namespace dec

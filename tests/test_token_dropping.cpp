@@ -156,6 +156,44 @@ TEST(TokenDropping, LoadBalancesLayeredBurst) {
   EXPECT_LE(max_bound_violation(g, p, r), 0.0);
 }
 
+TEST(TokenDropping, PropertyInvariantSweep) {
+  // Property harness over ~50 seeded digraphs of varying shape, size, and
+  // parameters: after every run on the message-passing engine,
+  //   * the token count is conserved and every node holds <= k,
+  //   * at most one token crossed each arc (crossings == tokens_moved),
+  //   * the Theorem 4.3 slack bound holds on every still-active edge.
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(900 + static_cast<std::uint64_t>(seed));
+    const Digraph g =
+        seed % 3 == 0
+            ? layered_game(3 + seed % 4, 8 + seed % 13, 2 + seed % 3, rng)
+            : random_game(30 + 2 * (seed % 17),
+                          0.04 + 0.004 * (seed % 9), rng);
+    TokenDroppingParams p;
+    p.k = 8 << (seed % 3);
+    p.delta = 1 + seed % 3;
+    p.alpha.assign(static_cast<std::size_t>(g.num_nodes()),
+                   p.delta + seed % 4);
+    const auto init = random_tokens(g, p.k, rng);
+    const std::int64_t before =
+        std::accumulate(init.begin(), init.end(), std::int64_t{0});
+    const auto r = run_token_dropping(g, init, p);
+
+    const std::int64_t after =
+        std::accumulate(r.tokens.begin(), r.tokens.end(), std::int64_t{0});
+    EXPECT_EQ(before, after) << "seed=" << seed;
+    for (const int t : r.tokens) {
+      EXPECT_GE(t, 0) << "seed=" << seed;
+      EXPECT_LE(t, p.k) << "seed=" << seed;
+    }
+    std::int64_t crossings = 0;
+    for (const bool b : r.edge_passive) crossings += b ? 1 : 0;
+    EXPECT_EQ(crossings, r.tokens_moved) << "seed=" << seed;
+    EXPECT_EQ(r.rounds, 3 * r.phases) << "seed=" << seed;
+    EXPECT_LE(max_bound_violation(g, p, r), 0.0) << "seed=" << seed;
+  }
+}
+
 TEST(TokenDropping, GameGenerators) {
   Rng rng(69);
   const Digraph lg = layered_game(3, 7, 2, rng);
