@@ -4,6 +4,7 @@
 
 #include "coloring/defective.hpp"
 #include "coloring/linial.hpp"
+#include "core/defective2ec.hpp"
 #include "core/token_dropping.hpp"
 #include "graph/generators.hpp"
 #include "graph/line_graph.hpp"
@@ -107,39 +108,56 @@ void BM_NetworkRoundSpill(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRoundSpill)->Arg(1000)->Arg(10000);
 
-// Defective refine, legacy centralized vs. message-passing substrate
-// (Args are {n, engine} with 0 = legacy, 1 = substrate). Both engines walk
-// the identical class-step trajectory, so items/s compares the engines on
-// equal work: items = audited rounds x slot-plane size.
+// Defective refine on the message-passing substrate (Args are
+// {n, threads}); with the dirty-flag announce, off-variant comparisons live
+// in BM_DefectiveRefineFullBroadcast. items = audited rounds x slot-plane
+// size.
 void BM_DefectiveRefine(benchmark::State& state) {
   Rng rng(7);
   const Graph g = gen::random_regular(
       static_cast<NodeId>(state.range(0)), 12, rng);
   const LinialResult lin = linial_color(g);
-  const SolverEngine engine = state.range(1) == 0
-                                  ? SolverEngine::kLegacy
-                                  : SolverEngine::kMessagePassing;
+  const int threads = static_cast<int>(state.range(1));
   const int threshold = g.max_degree() / 4 + 2;
   std::int64_t rounds = 0;
   for (auto _ : state) {
     const DefectiveResult r = defective_refine(
-        g, lin.colors, lin.palette, 4, threshold, 256, nullptr, engine);
+        g, lin.colors, lin.palette, 4, threshold, 256, nullptr, threads);
     rounds = r.rounds;
     benchmark::DoNotOptimize(r.max_defect);
   }
   state.SetItemsProcessed(state.iterations() * rounds * 2 * g.num_edges());
 }
-BENCHMARK(BM_DefectiveRefine)->Args({1000, 0})->Args({1000, 1});
+BENCHMARK(BM_DefectiveRefine)->Args({1000, 1})->Args({1000, 2});
 
-// Token dropping, legacy vs. the directed adapter over the substrate
-// (Args are {width, engine}); items = audited rounds x arcs.
+// Same instance with the dirty-flag announce disabled (every node
+// re-broadcasts its color in every announce round): isolates the win of
+// announcing changed colors only. Rounds and colors are bit-identical.
+void BM_DefectiveRefineFullBroadcast(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 12, rng);
+  const LinialResult lin = linial_color(g);
+  const int threshold = g.max_degree() / 4 + 2;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const DefectiveResult r =
+        defective_refine(g, lin.colors, lin.palette, 4, threshold, 256,
+                         nullptr, 1, /*dirty_announce=*/false);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.max_defect);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2 * g.num_edges());
+}
+BENCHMARK(BM_DefectiveRefineFullBroadcast)->Arg(1000);
+
+// Token dropping on the directed adapter over the substrate (Args are
+// {width, threads}); items = audited rounds x arcs.
 void BM_TokenDropping(benchmark::State& state) {
   Rng rng(8);
   const int width = static_cast<int>(state.range(0));
   const Digraph g = layered_game(10, width, 6, rng);
-  const SolverEngine engine = state.range(1) == 0
-                                  ? SolverEngine::kLegacy
-                                  : SolverEngine::kMessagePassing;
+  const int threads = static_cast<int>(state.range(1));
   TokenDroppingParams p;
   p.k = 64;
   p.delta = 2;
@@ -151,13 +169,57 @@ void BM_TokenDropping(benchmark::State& state) {
   std::int64_t rounds = 0;
   for (auto _ : state) {
     const TokenDroppingResult r =
-        run_token_dropping(g, init, p, nullptr, engine);
+        run_token_dropping(g, init, p, nullptr, threads);
     rounds = r.rounds;
     benchmark::DoNotOptimize(r.tokens_moved);
   }
   state.SetItemsProcessed(state.iterations() * rounds * g.num_arcs());
 }
-BENCHMARK(BM_TokenDropping)->Args({100, 0})->Args({100, 1});
+BENCHMARK(BM_TokenDropping)->Args({100, 1})->Args({100, 2});
+
+// Balanced orientation (§5) as node programs: two substrate rounds per
+// phase plus the embedded token dropping games on their own DiNetworks
+// (Args are {n_per_side, threads}); items = rounds x slot-plane size.
+void BM_BalancedOrientation(benchmark::State& state) {
+  const auto bg = gen::regular_bipartite(
+      static_cast<NodeId>(state.range(0)), 32);
+  const std::vector<double> eta(
+      static_cast<std::size_t>(bg.graph.num_edges()), 0.0);
+  OrientationParams p;
+  p.nu = 0.125;
+  const int threads = static_cast<int>(state.range(1));
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const BalancedOrientationResult r =
+        balanced_orientation(bg.graph, bg.parts, eta, p, nullptr, threads);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.max_excess);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2 *
+                          bg.graph.num_edges());
+}
+BENCHMARK(BM_BalancedOrientation)->Args({256, 1})->Args({256, 2});
+
+// Generalized defective 2-edge coloring (Lemma 5.3 reduction onto the
+// balanced orientation; Args are {n_per_side, threads}).
+void BM_Defective2EC(benchmark::State& state) {
+  const auto bg = gen::regular_bipartite(
+      static_cast<NodeId>(state.range(0)), 16);
+  const std::vector<double> lambda(
+      static_cast<std::size_t>(bg.graph.num_edges()), 0.5);
+  const int threads = static_cast<int>(state.range(1));
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const Defective2ECResult r = defective_2_edge_coloring(
+        bg.graph, bg.parts, lambda, 1.0, ParamMode::kPractical, nullptr,
+        threads);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.beta_emp);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2 *
+                          bg.graph.num_edges());
+}
+BENCHMARK(BM_Defective2EC)->Args({128, 1})->Args({128, 2});
 
 void BM_ProperEdgeColoringCheck(benchmark::State& state) {
   Rng rng(4);

@@ -58,8 +58,7 @@ PrecolorParams precolor_params(std::int64_t m, std::int64_t delta,
 }
 
 /// Pick the evaluation point with the fewest collisions against the
-/// neighbor colors produced by `nbr(i)`, shared verbatim by both engines so
-/// their tie-breaking is identical by construction.
+/// neighbor colors produced by `nbr(i)`.
 template <class NbrFn>
 Color precolor_choose(std::int64_t mine, std::int64_t q, int d,
                       std::size_t degree, NbrFn&& nbr) {
@@ -78,28 +77,6 @@ Color precolor_choose(std::int64_t mine, std::int64_t q, int d,
     if (coll == 0) break;
   }
   return static_cast<Color>(best_r * q + eval_digit_poly(mine, q, d, best_r));
-}
-
-DefectiveResult precolor_legacy(const Graph& g, const std::vector<Color>& input,
-                                const PrecolorParams& p, RoundLedger* ledger) {
-  const NodeId n = g.num_nodes();
-  DefectiveResult res;
-  res.palette = static_cast<int>(p.q * p.q);
-  res.colors.resize(static_cast<std::size_t>(n));
-  // One communication round, simulated centrally: every node reads its
-  // neighbors' input colors directly.
-  for (NodeId v = 0; v < n; ++v) {
-    const auto nb = g.neighbors(v);
-    res.colors[static_cast<std::size_t>(v)] = precolor_choose(
-        input[static_cast<std::size_t>(v)], p.q, p.d, nb.size(),
-        [&](std::size_t i) {
-          return static_cast<std::int64_t>(
-              input[static_cast<std::size_t>(nb[i].neighbor)]);
-        });
-  }
-  res.rounds = 1;
-  if (ledger != nullptr) ledger->charge("defective_precolor", 1);
-  return res;
 }
 
 DefectiveResult precolor_message_passing(const Graph& g,
@@ -126,102 +103,31 @@ DefectiveResult precolor_message_passing(const Graph& g,
   });
   res.rounds = net.rounds_executed();
   res.max_message_bits = net.audit().max_bits();
+  res.messages = net.audit().messages_sent();
   return res;
 }
 
-DefectiveResult refine_legacy(const Graph& g, const std::vector<Color>& classes,
-                              int num_classes, int num_colors,
-                              int move_threshold, int max_sweeps,
-                              RoundLedger* ledger) {
-  const NodeId n = g.num_nodes();
-  DefectiveResult res;
-  res.palette = num_colors;
-  // Deterministic initial assignment from the class id.
-  res.colors.resize(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    res.colors[static_cast<std::size_t>(v)] =
-        classes[static_cast<std::size_t>(v)] % num_colors;
-  }
-
-  auto defect_of = [&](NodeId v) {
-    int defect = 0;
-    const Color mine = res.colors[static_cast<std::size_t>(v)];
-    for (const Incidence& inc : g.neighbors(v)) {
-      if (res.colors[static_cast<std::size_t>(inc.neighbor)] == mine) ++defect;
-    }
-    return defect;
-  };
-  auto min_conflict_color = [&](NodeId v) {
-    std::vector<int> count(static_cast<std::size_t>(num_colors), 0);
-    for (const Incidence& inc : g.neighbors(v)) {
-      ++count[static_cast<std::size_t>(
-          res.colors[static_cast<std::size_t>(inc.neighbor)])];
-    }
-    Color best = 0;
-    for (Color c = 1; c < num_colors; ++c) {
-      if (count[static_cast<std::size_t>(c)] <
-          count[static_cast<std::size_t>(best)]) {
-        best = c;
-      }
-    }
-    return best;
-  };
-
-  res.converged = false;
-  for (int sweep = 0; sweep < max_sweeps && !res.converged; ++sweep) {
-    bool any_intent = false;
-    for (Color cls = 0; cls < num_classes; ++cls) {
-      // Round 1: nodes of this class with defect above threshold announce an
-      // intent to move. Round 2: a node moves only if it has the smallest id
-      // among intending same-class neighbors, making the moving set
-      // independent (each move then strictly lowers the potential).
-      std::vector<NodeId> intents;
-      for (NodeId v = 0; v < n; ++v) {
-        if (classes[static_cast<std::size_t>(v)] != cls) continue;
-        if (defect_of(v) > move_threshold) intents.push_back(v);
-      }
-      if (!intents.empty()) any_intent = true;
-      std::vector<bool> intending(static_cast<std::size_t>(n), false);
-      for (NodeId v : intents) intending[static_cast<std::size_t>(v)] = true;
-      for (NodeId v : intents) {
-        bool has_priority = true;
-        for (const Incidence& inc : g.neighbors(v)) {
-          if (inc.neighbor < v &&
-              intending[static_cast<std::size_t>(inc.neighbor)] &&
-              classes[static_cast<std::size_t>(inc.neighbor)] == cls) {
-            has_priority = false;
-            break;
-          }
-        }
-        if (!has_priority) continue;
-        // An above-threshold node's min-conflict color is strictly better
-        // than its current one (threshold >= ⌊Δ/C⌋+1 >= min-conflict count),
-        // so a priority mover always strictly improves.
-        res.colors[static_cast<std::size_t>(v)] = min_conflict_color(v);
-      }
-      res.rounds += 2;
-      if (ledger != nullptr) ledger->charge("defective_refine", 2);
-    }
-    ++res.sweeps;
-    if (!any_intent) res.converged = true;
-  }
-  return res;
-}
-
-// Refine as a node program. The legacy class-step (intent round + move
-// round) pipelines onto the substrate one round late: round A of a
-// class-step applies the moves arbitrated in the previous step's round B
-// and announces current colors; round B refreshes each node's neighbor-color
-// cache and lets this class's over-threshold members broadcast an intent.
-// The final step's in-flight move decisions are consumed by a free drain.
-// Movers within a class-step are pairwise non-adjacent (smallest-id
-// priority), so the one-round lag changes no color any decision reads —
-// the engines are bit-identical, which the equivalence tests enforce.
+// Refine as a node program. The class-step (intent round + move round)
+// pipelines onto the substrate one round late: round A of a class-step
+// applies the moves arbitrated in the previous step's round B and announces
+// colors; round B refreshes each node's neighbor-color cache and lets this
+// class's over-threshold members broadcast an intent. The final step's
+// in-flight move decisions are consumed by a free drain. Movers within a
+// class-step are pairwise non-adjacent (smallest-id priority), so the
+// one-round lag changes no color any decision reads.
+//
+// The announce round is dirty-flagged (when `dirty_announce`): a node
+// re-broadcasts its color only if it changed since its last announcement;
+// receivers read unchanged colors from their per-incidence caches. Every
+// color change is announced in the same round it is applied, so the caches
+// never go stale — rounds and colors are bit-identical to the full
+// re-broadcast, only the message count (simulation wall-clock) drops.
 DefectiveResult refine_message_passing(const Graph& g,
                                        const std::vector<Color>& classes,
                                        int num_classes, int num_colors,
                                        int move_threshold, int max_sweeps,
-                                       RoundLedger* ledger, int num_threads) {
+                                       RoundLedger* ledger, int num_threads,
+                                       bool dirty_announce) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = num_colors;
@@ -235,10 +141,13 @@ DefectiveResult refine_message_passing(const Graph& g,
 
   // Per-node neighbor-color cache, laid out on the network's own slot plane
   // (slot (v, i) caches neighbor i's color), plus the node's own
-  // pending-intent flag. Node programs write only their own slice, so the
-  // state is shard-confined on the parallel engine.
+  // pending-intent and announce-dirty flags. Node programs write only their
+  // own slice, so the state is shard-confined on the parallel engine.
   std::vector<Color> nbr_color(net.num_slots(), 0);
   std::vector<char> intent(static_cast<std::size_t>(n), 0);
+  // 1 = my color changed since my last announcement (everyone must announce
+  // once at the start, so the caches begin fully populated).
+  std::vector<char> dirty(static_cast<std::size_t>(n), 1);
 
   // Consume the intent broadcasts of the previous round: an intender moves
   // to its min-conflict color unless a smaller-id neighbor also intended
@@ -262,29 +171,36 @@ DefectiveResult refine_message_passing(const Graph& g,
         best = c;
       }
     }
-    res.colors[static_cast<std::size_t>(v)] = best;
+    if (res.colors[static_cast<std::size_t>(v)] != best) {
+      res.colors[static_cast<std::size_t>(v)] = best;
+      dirty[static_cast<std::size_t>(v)] = 1;
+    }
   };
 
   res.converged = false;
   for (int sweep = 0; sweep < max_sweeps && !res.converged; ++sweep) {
     bool any_intent = false;
     for (Color cls = 0; cls < num_classes; ++cls) {
-      // Round A: settle the previous step's arbitration, announce colors.
+      // Round A: settle the previous step's arbitration, announce colors —
+      // all of them, or (dirty-flagged) only the ones that changed.
       net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
         apply_pending(v, in);
+        if (dirty_announce && dirty[static_cast<std::size_t>(v)] == 0) return;
+        dirty[static_cast<std::size_t>(v)] = 0;
         for (auto& m : out) {
           m = Message{res.colors[static_cast<std::size_t>(v)]};
         }
       });
-      // Round B: refresh caches; this class's over-threshold members
-      // broadcast an intent to move.
+      // Round B: fold announced changes into the caches; this class's
+      // over-threshold members broadcast an intent to move.
       net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
         int defect = 0;
         const Color mine = res.colors[static_cast<std::size_t>(v)];
         for (std::size_t i = 0; i < in.size(); ++i) {
-          const Color c = static_cast<Color>(in[i].at(0));
-          nbr_color[net.slot(v, i)] = c;
-          if (c == mine) ++defect;
+          if (!in[i].empty()) {
+            nbr_color[net.slot(v, i)] = static_cast<Color>(in[i].at(0));
+          }
+          if (nbr_color[net.slot(v, i)] == mine) ++defect;
         }
         if (classes[static_cast<std::size_t>(v)] != cls) return;
         if (defect > move_threshold) {
@@ -306,6 +222,7 @@ DefectiveResult refine_message_passing(const Graph& g,
 
   res.rounds = net.rounds_executed();
   res.max_message_bits = net.audit().max_bits();
+  res.messages = net.audit().messages_sent();
   return res;
 }
 
@@ -314,8 +231,7 @@ DefectiveResult refine_message_passing(const Graph& g,
 DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
-                                   RoundLedger* ledger, SolverEngine engine,
-                                   int num_threads) {
+                                   RoundLedger* ledger, int num_threads) {
   DEC_REQUIRE(target_defect >= 1, "target defect must be >= 1");
   DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
   for (const Color c : input) {
@@ -326,9 +242,7 @@ DefectiveResult defective_precolor(const Graph& g,
   const PrecolorParams p = precolor_params(m, delta, target_defect);
 
   DefectiveResult res =
-      engine == SolverEngine::kLegacy
-          ? precolor_legacy(g, input, p, ledger)
-          : precolor_message_passing(g, input, p, ledger, num_threads);
+      precolor_message_passing(g, input, p, ledger, num_threads);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   DEC_CHECK(res.max_defect <= target_defect,
             "defective precolor exceeded its defect target");
@@ -339,8 +253,8 @@ DefectiveResult defective_refine(const Graph& g,
                                  const std::vector<Color>& classes,
                                  int num_classes, int num_colors,
                                  int move_threshold, int max_sweeps,
-                                 RoundLedger* ledger, SolverEngine engine,
-                                 int num_threads) {
+                                 RoundLedger* ledger, int num_threads,
+                                 bool dirty_announce) {
   DEC_REQUIRE(num_colors >= 2, "refine needs at least two colors");
   DEC_REQUIRE(move_threshold >= (g.max_degree() / num_colors) + 1,
               "threshold too tight: moving nodes could never settle");
@@ -351,12 +265,9 @@ DefectiveResult defective_refine(const Graph& g,
   }
 
   DefectiveResult res =
-      engine == SolverEngine::kLegacy
-          ? refine_legacy(g, classes, num_classes, num_colors, move_threshold,
-                          max_sweeps, ledger)
-          : refine_message_passing(g, classes, num_classes, num_colors,
-                                   move_threshold, max_sweeps, ledger,
-                                   num_threads);
+      refine_message_passing(g, classes, num_classes, num_colors,
+                             move_threshold, max_sweeps, ledger, num_threads,
+                             dirty_announce);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   if (!res.converged) {
     // The cap was generous; reaching it without meeting the contract means a
@@ -370,8 +281,7 @@ DefectiveResult defective_refine(const Graph& g,
 DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
-                                     RoundLedger* ledger, SolverEngine engine,
-                                     int num_threads) {
+                                     RoundLedger* ledger, int num_threads) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   const int delta = g.max_degree();
   const int target = static_cast<int>(eps * delta) + delta / 2;
@@ -402,7 +312,7 @@ DefectiveResult defective_4_coloring(const Graph& g,
   // Half the ε budget to the precoloring defect, half to the refine margin.
   const int pre_defect = std::max(1, static_cast<int>(eps * delta / 2.0));
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
-                                           ledger, engine, num_threads);
+                                           ledger, num_threads);
 
   const int margin = std::max(1, static_cast<int>(eps * delta / 4.0));
   // At small Δ the flat +margin +pre_defect headroom can exceed the Lemma
@@ -415,9 +325,10 @@ DefectiveResult defective_4_coloring(const Graph& g,
       64 + static_cast<int>(16.0 / (eps * eps) / std::max(1, delta));
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, 4, threshold, max_sweeps,
-                       ledger, engine, num_threads);
+                       ledger, num_threads);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
+  ref.messages += pre.messages;
   DEC_CHECK(ref.max_defect <= target,
             "Lemma 6.2 contract violated: defect exceeds εΔ + ⌊Δ/2⌋");
   return ref;
@@ -428,7 +339,6 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int input_palette, int num_colors,
                                          int target_defect,
                                          RoundLedger* ledger,
-                                         SolverEngine engine,
                                          int num_threads) {
   const int delta = g.max_degree();
   DEC_REQUIRE(target_defect >= delta / num_colors + 1,
@@ -443,14 +353,15 @@ DefectiveResult defective_split_coloring(const Graph& g,
   // possible), then refine.
   const int pre_defect = std::max(1, target_defect / 2);
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
-                                           ledger, engine, num_threads);
+                                           ledger, num_threads);
   const int threshold = std::max(delta / num_colors + 1,
                                  target_defect - pre_defect);
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, num_colors, threshold, 256,
-                       ledger, engine, num_threads);
+                       ledger, num_threads);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
+  ref.messages += pre.messages;
   DEC_CHECK(ref.max_defect <= target_defect,
             "defective split contract violated");
   return ref;

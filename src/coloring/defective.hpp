@@ -21,21 +21,24 @@
 // `defective_4_coloring` composes the two per Lemma 6.2: an (εΔ + ⌊Δ/2⌋)-
 // defective 4-coloring, given an O(Δ²)-coloring, with rounds O(classes/ε²)
 // charged honestly (DESIGN.md §4.3 documents the substitution).
-// Both building blocks run as genuine node programs on SyncNetwork by
-// default (SolverEngine::kMessagePassing): precolor is one real
-// color-exchange round, refine is two real rounds per class-step (announce,
-// then intent/move-arbitration), each with per-round CongestAudit charges.
-// The original centralized implementations survive behind
-// SolverEngine::kLegacy so the cross-engine equivalence tests can prove the
-// port bit-exact; `num_threads` > 1 shards the node programs over the
-// parallel round engine with identical results.
+// Both building blocks run as genuine node programs on SyncNetwork:
+// precolor is one real color-exchange round, refine is two real rounds per
+// class-step (announce, then intent/move-arbitration), each with per-round
+// CongestAudit charges. `num_threads` > 1 shards the node programs over the
+// parallel round engine with bit-identical results (enforced by the
+// cross-engine equivalence suite). Refine's announce round is dirty-flagged:
+// a node re-broadcasts its color only when it changed since its last
+// announcement, and receivers fill the gaps from their per-incidence caches
+// — same rounds, same colors, strictly fewer messages on stabilizing runs
+// (`dirty_announce = false` keeps the full re-broadcast for regression
+// comparison).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
-#include "sim/engine.hpp"
 #include "sim/ledger.hpp"
 
 namespace dec {
@@ -47,7 +50,8 @@ struct DefectiveResult {
   int max_defect = 0;
   int sweeps = 0;       // refine only
   bool converged = true;
-  int max_message_bits = 0;  // CongestAudit of the message-passing engine
+  int max_message_bits = 0;       // CongestAudit: widest message of the run
+  std::int64_t messages = 0;      // CongestAudit: total messages sent
 };
 
 /// One-round defect/palette trade-off. Input: proper coloring with values in
@@ -57,30 +61,28 @@ DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger = nullptr,
-                                   SolverEngine engine =
-                                       SolverEngine::kMessagePassing,
                                    int num_threads = 1);
 
 /// Threshold local search over the classes of `classes` (any coloring with
 /// values in [0, num_classes); independence not required). Produces a
 /// num_colors-coloring with max defect ≤ move_threshold on convergence.
 /// Throws if not converged within max_sweeps AND the threshold is violated.
+/// `dirty_announce = false` disables the changed-colors-only announce
+/// optimization (identical rounds and colors either way; kept so the
+/// regression tests can pin the equivalence and the message saving).
 DefectiveResult defective_refine(const Graph& g,
                                  const std::vector<Color>& classes,
                                  int num_classes, int num_colors,
                                  int move_threshold, int max_sweeps,
                                  RoundLedger* ledger = nullptr,
-                                 SolverEngine engine =
-                                     SolverEngine::kMessagePassing,
-                                 int num_threads = 1);
+                                 int num_threads = 1,
+                                 bool dirty_announce = true);
 
 /// Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring from a proper O(Δ²)-coloring.
 DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
                                      RoundLedger* ledger = nullptr,
-                                     SolverEngine engine =
-                                         SolverEngine::kMessagePassing,
                                      int num_threads = 1);
 
 /// General split: num_colors-coloring with defect ≤ target_defect, where
@@ -91,8 +93,6 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int input_palette, int num_colors,
                                          int target_defect,
                                          RoundLedger* ledger = nullptr,
-                                         SolverEngine engine =
-                                             SolverEngine::kMessagePassing,
                                          int num_threads = 1);
 
 }  // namespace dec

@@ -5,26 +5,44 @@
 #include <limits>
 
 #include "core/token_dropping.hpp"
+#include "sim/network.hpp"
 
 namespace dec {
 
-namespace {
-
-/// Unoriented-neighbor count of an unoriented edge e = {u, v}:
-/// (unoriented degree of u − 1) + (unoriented degree of v − 1).
-int unoriented_edge_degree(const Graph& g, const std::vector<int>& ud,
-                           EdgeId e) {
-  const auto [u, v] = g.endpoints(e);
-  return ud[static_cast<std::size_t>(u)] + ud[static_cast<std::size_t>(v)] - 2;
-}
-
-}  // namespace
-
+// The §5 algorithm as node programs. Each phase φ is two genuine rounds on a
+// SyncNetwork over the input graph, pipelined the same way as the other
+// substrate solvers (the accept notifications of round B are consumed at the
+// start of the next round executed on the network):
+//
+//   A (announce): consume the previous accept round's notifications (tails
+//      learn their edge was oriented, update their unoriented degree and
+//      d⁻), then broadcast (x_{φ−1}, unoriented degree) on unoriented edges
+//      and x_{φ−1} alone on oriented ones (step 5's violation test needs
+//      both endpoints' x on every edge).
+//   B (accept): with both endpoints' announcements in hand, membership of an
+//      unoriented edge in E_φ and its proposal target are locally computable
+//      at both endpoints, so no proposal message needs to cross the wire; the
+//      target accepts the k_φ lowest edge ids among the edges proposing to it
+//      and notifies each tail with a 1-field accept.
+//
+// Steps 5–7 then run between network rounds: the violating edges of F_{<φ}
+// (decidable at both endpoints from the round-A x announcements) form the
+// token dropping game digraph, the game executes on its own DiNetwork via
+// run_token_dropping, and an edge flips exactly when its game arc went
+// passive — a fact both endpoints observe through the game's own messages
+// (the sender grants the token, the receiver consumes its arrival), so the
+// flip is driven by delivered tokens rather than centrally recomputed state.
+//
+// Every mutable slot (x, ud, d⁻, per-incidence mirrors, per-edge head — the
+// latter written only by the edge's unique accepting endpoint) has a single
+// writing node per round, so the programs shard race-free over the parallel
+// engine and serial and parallel runs are bit-identical.
 BalancedOrientationResult balanced_orientation(const Graph& g,
                                                const Bipartition& parts,
                                                const std::vector<double>& eta,
                                                const OrientationParams& params,
-                                               RoundLedger* ledger) {
+                                               RoundLedger* ledger,
+                                               int num_threads) {
   validate_bipartition(g, parts);
   DEC_REQUIRE(eta.size() == static_cast<std::size_t>(g.num_edges()),
               "eta has wrong length");
@@ -32,24 +50,64 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
   DEC_REQUIRE(nu > 0.0 && nu <= 0.125, "Eq. (4) requires 0 < nu <= 1/8");
 
   const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
   const double dbar = std::max(1, 2 * g.max_degree() - 2);
   const double dbar_log = std::log(std::max(2.0, dbar));
 
   BalancedOrientationResult res{Orientation(g)};
-  Orientation& orient = res.orientation;
+  res.leftover_edge.assign(static_cast<std::size_t>(m), 0);
 
-  // Unoriented degree per node (for d(e, φ)).
-  std::vector<int> ud(static_cast<std::size_t>(n), 0);
+  SyncNetwork net(g, ledger, "balanced_orientation", num_threads);
+
+  // Node-owned state (each slot written only by its owning node's program,
+  // or serially between rounds).
+  std::vector<int> x(static_cast<std::size_t>(n), 0);  // x_v = indegree
+  std::vector<int> ud(static_cast<std::size_t>(n));    // unoriented degree
   for (NodeId v = 0; v < n; ++v) ud[static_cast<std::size_t>(v)] = g.degree(v);
 
-  // Phase in which each edge was oriented (-1 = unoriented): distinguishes
-  // F_φ (this phase) from F_{<φ} (earlier phases) in steps 5–6.
-  std::vector<std::int64_t> oriented_in_phase(
-      static_cast<std::size_t>(g.num_edges()), -1);
-
   // d⁻_φ(v) of Eq. (5): min over edges of F_{<φ} incident to v of deg_G(e).
+  // A tail folds its contribution the moment it learns of the orientation
+  // (round A of the next phase); an accepting head buffers its contribution
+  // in `pend_dmin` during round B and it is folded at the end of the phase —
+  // both orderings match the centralized schedule, which updated d⁻ for
+  // phase-φ edges after phase φ's game.
   std::vector<std::int64_t> d_minus(
       static_cast<std::size_t>(n), std::numeric_limits<std::int64_t>::max());
+  std::vector<std::int64_t> pend_dmin(
+      static_cast<std::size_t>(n), std::numeric_limits<std::int64_t>::max());
+
+  // Per-incidence mirror of "is my i-th edge still unoriented" (char, not
+  // vector<bool>: adjacent slots must be writable from different shards).
+  std::vector<char> inc_unoriented(net.num_slots(), 1);
+
+  // Per-edge orientation record. head_of[e] is written by the edge's unique
+  // accepting endpoint (round B) or its unique leftover head (final drain);
+  // phase_of[e] by the same writer. Flips are applied serially between
+  // rounds from the game's delivered tokens.
+  std::vector<NodeId> head_of(static_cast<std::size_t>(m), kInvalidNode);
+  std::vector<std::int64_t> phase_of(static_cast<std::size_t>(m), -1);
+
+  std::vector<int> accepted_count(static_cast<std::size_t>(n), 0);
+
+  // Consume in-flight accept notifications: a non-empty message on a
+  // still-unoriented incidence means the neighbor oriented that edge toward
+  // itself in the previous accept round.
+  auto apply_accepts = [&](NodeId v, const Inbox& in) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (inc_unoriented[net.slot(v, i)] == 0) continue;
+      if (in[i].empty()) continue;
+      inc_unoriented[net.slot(v, i)] = 0;
+      --ud[static_cast<std::size_t>(v)];
+      d_minus[static_cast<std::size_t>(v)] =
+          std::min(d_minus[static_cast<std::size_t>(v)],
+                   static_cast<std::int64_t>(g.edge_degree(nb[i].edge)));
+    }
+  };
+
+  std::vector<int> x_prev(static_cast<std::size_t>(n), 0);
+  std::int64_t num_oriented = 0;
+  std::int64_t game_rounds = 0;
 
   const std::int64_t max_phases =
       params.max_phases > 0
@@ -57,79 +115,115 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
           : static_cast<std::int64_t>(std::ceil(std::log(dbar + 1.0) / nu)) + 8;
 
   for (std::int64_t phi = 1; phi <= max_phases; ++phi) {
-    if (orient.num_oriented() == g.num_edges()) break;
+    if (num_oriented == m) break;
     const double threshold =
         std::pow(1.0 - nu, static_cast<double>(phi)) * dbar;
     if (threshold < 1.0) break;  // remaining edges go to the leftover pass
 
-    // x(φ−1) snapshot: steps 2 and 5 both read end-of-previous-phase values.
-    std::vector<int> x_prev(static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) {
-      x_prev[static_cast<std::size_t>(v)] = orient.indegree(v);
-    }
+    // x(φ−1) snapshot: steps 2 and 5 both read end-of-previous-phase values
+    // (x only changes in accept rounds and in the serially applied flips,
+    // so at this point x holds exactly x(φ−1)).
+    std::copy(x.begin(), x.end(), x_prev.begin());
 
-    // Steps 1–2: eligible unoriented edges (E_φ) propose to one endpoint.
-    std::vector<std::vector<EdgeId>> proposals(static_cast<std::size_t>(n));
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (orient.oriented(e)) continue;
-      if (unoriented_edge_degree(g, ud, e) <= threshold) continue;
-      const NodeId u = u_endpoint(g, parts, e);
-      const NodeId v = v_endpoint(g, parts, e);
-      const double diff = x_prev[static_cast<std::size_t>(v)] -
-                          x_prev[static_cast<std::size_t>(u)];
-      const NodeId target =
-          diff <= eta[static_cast<std::size_t>(e)] ? v : u;
-      proposals[static_cast<std::size_t>(target)].push_back(e);
-    }
+    // Round A: consume last phase's accepts, announce (x, ud).
+    net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+      apply_accepts(v, in);
+      const auto nb = g.neighbors(v);
+      const auto xv = static_cast<std::int64_t>(x[static_cast<std::size_t>(v)]);
+      const auto udv =
+          static_cast<std::int64_t>(ud[static_cast<std::size_t>(v)]);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (inc_unoriented[net.slot(v, i)] != 0) {
+          out[i] = Message{xv, udv};
+        } else {
+          out[i] = Message{xv};
+        }
+      }
+    });
 
-    // Steps 3–4: each node accepts at most k_φ proposals (the paper allows
-    // an arbitrary subset; we take lowest edge ids for determinism).
+    // Round B: steps 1–4. Each node derives the proposals addressed to it
+    // (both endpoints hold both announcements, so the proposal itself needs
+    // no message), accepts the k_φ lowest edge ids, and notifies the tails.
     const std::int64_t kphi = k_phi(nu, dbar, phi);
-    std::vector<int> accepted_count(static_cast<std::size_t>(n), 0);
-    for (NodeId w = 0; w < n; ++w) {
-      auto& props = proposals[static_cast<std::size_t>(w)];
-      if (props.empty()) continue;
-      std::sort(props.begin(), props.end());
+    net.round_fast([&](NodeId w, const Inbox& in, Outbox& out) {
+      const auto nb = g.neighbors(w);
+      const bool w_in_u = parts.in_u(w);
+      struct Cand {
+        EdgeId e;
+        std::uint32_t i;
+      };
+      std::vector<Cand> cands;
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (inc_unoriented[net.slot(w, i)] == 0) continue;
+        const Message& msg = in[i];
+        DEC_CHECK(msg.size() == 2, "unoriented-edge announcement malformed");
+        const EdgeId e = nb[i].edge;
+        const double de =
+            static_cast<double>(ud[static_cast<std::size_t>(w)]) +
+            static_cast<double>(msg.at(1)) - 2.0;  // d(e, φ)
+        if (de <= threshold) continue;             // not in E_φ
+        // Step 2: target = the endpoint that "wants" e per η_e, evaluated
+        // on the x(φ−1) snapshot.
+        const double xw = x[static_cast<std::size_t>(w)];
+        const double xz = static_cast<double>(msg.at(0));
+        const double xu = w_in_u ? xw : xz;
+        const double xv = w_in_u ? xz : xw;
+        const double diff = xv - xu;
+        const bool to_v = diff <= eta[static_cast<std::size_t>(e)];
+        const bool w_is_target = to_v != w_in_u;  // target side == my side
+        if (w_is_target) cands.push_back({e, static_cast<std::uint32_t>(i)});
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) { return a.e < b.e; });
       const std::size_t take =
-          std::min<std::size_t>(props.size(), static_cast<std::size_t>(kphi));
-      for (std::size_t i = 0; i < take; ++i) {
-        const EdgeId e = props[i];
-        const auto [a, b] = g.endpoints(e);
-        orient.orient_towards(e, w);
-        oriented_in_phase[static_cast<std::size_t>(e)] = phi;
-        --ud[static_cast<std::size_t>(a)];
-        --ud[static_cast<std::size_t>(b)];
+          std::min<std::size_t>(cands.size(), static_cast<std::size_t>(kphi));
+      for (std::size_t c = 0; c < take; ++c) {
+        const EdgeId e = cands[c].e;
+        head_of[static_cast<std::size_t>(e)] = w;
+        phase_of[static_cast<std::size_t>(e)] = phi;
+        inc_unoriented[net.slot(w, cands[c].i)] = 0;
+        --ud[static_cast<std::size_t>(w)];
+        ++x[static_cast<std::size_t>(w)];
+        pend_dmin[static_cast<std::size_t>(w)] =
+            std::min(pend_dmin[static_cast<std::size_t>(w)],
+                     static_cast<std::int64_t>(g.edge_degree(e)));
+        out[cands[c].i] = Message{1};  // accept: tail learns next round
       }
       accepted_count[static_cast<std::size_t>(w)] = static_cast<int>(take);
+    });
+    for (NodeId v = 0; v < n; ++v) {
+      num_oriented += accepted_count[static_cast<std::size_t>(v)];
     }
-    res.rounds += 2;
-    if (ledger != nullptr) ledger->charge("orientation_phases", 2);
 
     // Step 5: F'_{<φ} — previously oriented edges violating their η_e
-    // inequality at the x(φ−1) snapshot. Arcs point *against* the current
-    // orientation (step 6).
+    // inequality at the x(φ−1) snapshot. Both endpoints received each
+    // other's x in round A, so membership is local knowledge; the harness
+    // materializes the game digraph from it. Arcs point *against* the
+    // current orientation (step 6).
     std::vector<std::pair<NodeId, NodeId>> arcs;
     std::vector<EdgeId> arc_to_edge;
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const std::int64_t ph = oriented_in_phase[static_cast<std::size_t>(e)];
+    for (EdgeId e = 0; e < m; ++e) {
+      const std::int64_t ph = phase_of[static_cast<std::size_t>(e)];
       if (ph < 0 || ph >= phi) continue;  // unoriented or in F_φ
       const NodeId u = u_endpoint(g, parts, e);
       const NodeId v = v_endpoint(g, parts, e);
       const double diff_vu = x_prev[static_cast<std::size_t>(v)] -
                              x_prev[static_cast<std::size_t>(u)];
+      const NodeId head = head_of[static_cast<std::size_t>(e)];
       bool violating = false;
-      if (orient.head(e) == v) {
+      if (head == v) {
         violating = diff_vu > eta[static_cast<std::size_t>(e)];
       } else {
         violating = -diff_vu > -eta[static_cast<std::size_t>(e)];
       }
       if (!violating) continue;
       // Current orientation tail→head; game arc head→tail.
-      arcs.emplace_back(orient.head(e), orient.tail(e));
+      arcs.emplace_back(head, g.other_endpoint(e, head));
       arc_to_edge.push_back(e);
     }
 
-    // Step 6: run the generalized token dropping game on (V, F'_{<φ}).
+    // Step 6: run the generalized token dropping game on (V, F'_{<φ}) — on
+    // its own DiNetwork, rounds and widths substrate-measured.
     if (!arcs.empty()) {
       const Digraph game(n, std::move(arcs));
       TokenDroppingParams tp;
@@ -154,44 +248,85 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
         tokens[static_cast<std::size_t>(v)] =
             std::min<int>(accepted_count[static_cast<std::size_t>(v)], tp.k);
       }
-      TokenDroppingResult game_res =
-          run_token_dropping(game, std::move(tokens), tp, ledger);
-      res.rounds += game_res.rounds;
-      // Step 7: flip every edge over which a token moved.
+      TokenDroppingResult game_res = run_token_dropping(
+          game, std::move(tokens), tp, ledger, num_threads);
+      game_rounds += game_res.rounds;
+      res.max_message_bits =
+          std::max(res.max_message_bits, game_res.max_message_bits);
+      // Step 7: flip every edge over which a token moved. An arc going
+      // passive is observed by both endpoints through the game's own
+      // messages (grant on the sending side, token arrival on the
+      // receiving side), so the flip is local knowledge materialized here.
       for (EdgeId a = 0; a < game.num_arcs(); ++a) {
         if (!game_res.edge_passive[static_cast<std::size_t>(a)]) continue;
-        orient.flip(arc_to_edge[static_cast<std::size_t>(a)]);
+        const EdgeId e = arc_to_edge[static_cast<std::size_t>(a)];
+        const NodeId old_head = head_of[static_cast<std::size_t>(e)];
+        const NodeId new_head = g.other_endpoint(e, old_head);
+        head_of[static_cast<std::size_t>(e)] = new_head;
+        --x[static_cast<std::size_t>(old_head)];
+        ++x[static_cast<std::size_t>(new_head)];
         ++res.flips;
       }
     }
 
-    // End of phase: F_φ joins F_{<φ+1}; update d⁻ accordingly.
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (oriented_in_phase[static_cast<std::size_t>(e)] != phi) continue;
-      const auto [a, b] = g.endpoints(e);
-      const std::int64_t dge = g.edge_degree(e);
-      for (const NodeId w : {a, b}) {
-        d_minus[static_cast<std::size_t>(w)] =
-            std::min(d_minus[static_cast<std::size_t>(w)], dge);
-      }
+    // End of phase: F_φ joins F_{<φ+1} — fold the accepting heads' buffered
+    // d⁻ contributions (the tails fold theirs on receiving the accept).
+    for (NodeId v = 0; v < n; ++v) {
+      d_minus[static_cast<std::size_t>(v)] =
+          std::min(d_minus[static_cast<std::size_t>(v)],
+                   pend_dmin[static_cast<std::size_t>(v)]);
+      pend_dmin[static_cast<std::size_t>(v)] =
+          std::numeric_limits<std::int64_t>::max();
     }
     ++res.phases;
   }
 
   // Leftover pass: by Lemma 5.4 the unoriented remainder is (near) a
-  // matching; orient each edge toward its smaller-id endpoint.
-  res.leftover_edges = g.num_edges() - orient.num_oriented();
+  // matching; orient each edge toward its smaller-id endpoint. One genuine
+  // round (the larger endpoint cedes the head role), then a free drain in
+  // which each head records its adoptions. The final accept round's
+  // notifications may still be in flight, so they are consumed first.
+  res.leftover_edges = m - num_oriented;
   if (res.leftover_edges > 0) {
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (orient.oriented(e)) continue;
-      const auto [a, b] = g.endpoints(e);
-      orient.orient_towards(e, std::min(a, b));
-    }
-    res.rounds += 1;
-    if (ledger != nullptr) ledger->charge("orientation_leftover", 1);
+    net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+      apply_accepts(v, in);
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (inc_unoriented[net.slot(v, i)] == 0) continue;
+        if (nb[i].neighbor < v) out[i] = Message{1};
+      }
+    });
+    net.drain_fast([&](NodeId v, const Inbox& in) {
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (inc_unoriented[net.slot(v, i)] == 0) continue;
+        if (in[i].empty()) continue;  // only larger neighbors ceded
+        const EdgeId e = nb[i].edge;
+        head_of[static_cast<std::size_t>(e)] = v;
+        res.leftover_edge[static_cast<std::size_t>(e)] = 1;
+        ++x[static_cast<std::size_t>(v)];
+        inc_unoriented[net.slot(v, i)] = 0;
+      }
+    });
   }
 
+  // Materialize the Orientation from the per-edge records and cross-check
+  // the incrementally maintained x against it.
+  Orientation& orient = res.orientation;
+  for (EdgeId e = 0; e < m; ++e) {
+    const NodeId head = head_of[static_cast<std::size_t>(e)];
+    DEC_CHECK(head != kInvalidNode, "edge left unoriented");
+    orient.orient_towards(e, head);
+  }
   orient.validate();
+  for (NodeId v = 0; v < n; ++v) {
+    DEC_CHECK(orient.indegree(v) == x[static_cast<std::size_t>(v)],
+              "message-maintained x_v drifted from the orientation");
+  }
+
+  res.rounds = net.rounds_executed() + game_rounds;
+  res.max_message_bits =
+      std::max(res.max_message_bits, net.audit().max_bits());
   res.max_excess = orientation_max_excess(g, parts, eta, orient,
                                           eps_from_nu(nu));
   return res;

@@ -19,8 +19,24 @@
 //     that edge's orientation.
 // After the phase budget, leftover unoriented edges (each node has O(1) of
 // them) are oriented toward their smaller-id endpoint.
+//
+// Execution model: the solver runs as genuine node programs on the
+// simulation substrate. Each phase is two real rounds on a SyncNetwork over
+// the input graph — an announce round (every node broadcasts its x_{φ−1} and
+// unoriented degree; the previous phase's accept notifications are consumed
+// on the way in) and an accept round (each node locally derives which
+// unoriented incident edges propose to it, accepts the k_φ lowest edge ids,
+// and notifies the tails) — and the embedded token dropping game of step 3
+// runs on its own DiNetwork via `run_token_dropping`, so every round and
+// message width of Lemma 5.5's chain is measured by the substrate's
+// CongestAudit instead of asserted. Orientation flips are driven by the
+// tokens the game delivered (an edge flips exactly when its game arc went
+// passive, which both endpoints observe locally: the sender when granting,
+// the receiver when the token arrives). `num_threads` > 1 shards the node
+// programs over the parallel round engine with bit-identical results.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/params.hpp"
@@ -36,16 +52,20 @@ struct BalancedOrientationResult {
   std::int64_t rounds = 0;      // includes embedded token dropping rounds
   std::int64_t flips = 0;       // orientation flips performed by token games
   std::int64_t leftover_edges = 0;  // oriented arbitrarily at the end
+  std::vector<std::uint8_t> leftover_edge;  // per edge: 1 = leftover pass
   double max_excess = 0.0;      // max over edges of (imbalance − η side) −
                                 // (ε/2)·deg(e); the empirical β of this run
+  int max_message_bits = 0;     // CongestAudit across phases and games
 };
 
 /// Compute a balanced orientation w.r.t. `eta` (size m). ε = 8ν.
+/// `num_threads` > 1 runs the node programs on the parallel round engine.
 BalancedOrientationResult balanced_orientation(const Graph& g,
                                                const Bipartition& parts,
                                                const std::vector<double>& eta,
                                                const OrientationParams& params,
-                                               RoundLedger* ledger = nullptr);
+                                               RoundLedger* ledger = nullptr,
+                                               int num_threads = 1);
 
 /// Recompute the per-edge balance excess of an orientation:
 /// excess(e) = (x_head-side difference beyond η_e) − (ε/2)·deg(e).

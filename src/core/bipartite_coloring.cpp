@@ -43,7 +43,8 @@ std::int64_t color_leaf_part(const Graph& sub, std::vector<Color>& out,
 BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
                                                 const Bipartition& parts,
                                                 double eps, ParamMode mode,
-                                                RoundLedger* ledger) {
+                                                RoundLedger* ledger,
+                                                int num_threads) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   validate_bipartition(g, parts);
 
@@ -119,8 +120,8 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
       const std::vector<double> lambda(
           static_cast<std::size_t>(sub.num_edges()), 0.5);
       RoundLedger local;
-      const Defective2ECResult split =
-          defective_2_edge_coloring(sub, parts, lambda, chi, mode, &local);
+      const Defective2ECResult split = defective_2_edge_coloring(
+          sub, parts, lambda, chi, mode, &local, num_threads);
       level_rounds = std::max(level_rounds, local.total());
       for (std::size_t i = 0; i < members.size(); ++i) {
         // Red stays at index 2p, blue moves to 2p+1.

@@ -32,9 +32,11 @@ struct BipartiteColoringResult {
 };
 
 /// Color the edges of a 2-colored bipartite graph with ~(2+ε)Δ colors in
-/// polylog(Δ) rounds. ε ∈ (0, 1].
+/// polylog(Δ) rounds. ε ∈ (0, 1]. `num_threads` > 1 shards the defective
+/// 2-edge-coloring splits over the parallel round engine.
 BipartiteColoringResult bipartite_edge_coloring(
     const Graph& g, const Bipartition& parts, double eps,
-    ParamMode mode = ParamMode::kPractical, RoundLedger* ledger = nullptr);
+    ParamMode mode = ParamMode::kPractical, RoundLedger* ledger = nullptr,
+    int num_threads = 1);
 
 }  // namespace dec

@@ -50,7 +50,7 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
     RoundLedger local;
     const DefectiveResult def4 =
         defective_4_coloring(cur.graph, lin.colors, lin.palette, eps1, &local,
-                             SolverEngine::kMessagePassing, num_threads);
+                             num_threads);
     res.rounds += def4.rounds;
     if (ledger != nullptr) ledger->charge("defective4", def4.rounds);
 

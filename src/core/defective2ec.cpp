@@ -21,7 +21,8 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
                                              const Bipartition& parts,
                                              const std::vector<double>& lambda,
                                              double eps, ParamMode mode,
-                                             RoundLedger* ledger) {
+                                             RoundLedger* ledger,
+                                             int num_threads) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   DEC_REQUIRE(lambda.size() == static_cast<std::size_t>(g.num_edges()),
               "lambda has wrong length");
@@ -43,13 +44,14 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
   op.nu = std::min(0.125, nu_from_eps(eps));
   op.mode = mode;
   const BalancedOrientationResult bo =
-      balanced_orientation(g, parts, eta, op, ledger);
+      balanced_orientation(g, parts, eta, op, ledger, num_threads);
 
   Defective2ECResult res;
   res.phases = bo.phases;
   res.rounds = bo.rounds;
   res.eps = eps;
   res.beta_used = beta;
+  res.max_message_bits = bo.max_message_bits;
   res.is_red.resize(static_cast<std::size_t>(g.num_edges()));
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     // Red = oriented from U to V, i.e. head on the V side (Lemma 5.3).

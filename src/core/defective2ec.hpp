@@ -7,8 +7,12 @@
 //   red e:  #red neighbors  ≤ (1+ε)·λ_e·deg(e) + λ_e·β,
 //   blue e: #blue neighbors ≤ (1+ε)·(1−λ_e)·deg(e) + (1−λ_e)·β.
 //
-// Reduction (Lemma 5.3): compute the η_e thresholds of Eq. (3), run the
-// balanced orientation of §5, color U→V edges red and V→U edges blue.
+// Reduction (Lemma 5.3): compute the η_e thresholds of Eq. (3) — a local
+// per-edge formula over the endpoints' degrees — run the balanced
+// orientation of §5 (node programs on the simulation substrate, rounds and
+// message widths measured by the CongestAudit), and read the color off the
+// orientation: U→V edges red, V→U edges blue. Both endpoints know the
+// orientation of their edge, so the read-off costs no communication.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,7 @@ struct Defective2ECResult {
   double eps = 0.0;        // the ε the run targeted
   double beta_used = 0.0;  // β plugged into Eq. (3) and tolerated by Def. 5.1
   double beta_emp = 0.0;   // max measured additive overshoot (see audit)
+  int max_message_bits = 0;  // CongestAudit of the underlying orientation
 };
 
 /// η_e of Eq. (3) for edge e with red fraction λ_e.
@@ -36,12 +41,14 @@ double eta_of_lambda(const Graph& g, const Bipartition& parts, EdgeId e,
 
 /// Solve the generalized defective 2-edge coloring on a 2-colored bipartite
 /// graph. `lambda` has one entry per edge. ε ∈ (0, 1]; ν = ε/8 internally.
+/// `num_threads` > 1 shards the node programs over the parallel engine.
 Defective2ECResult defective_2_edge_coloring(const Graph& g,
                                              const Bipartition& parts,
                                              const std::vector<double>& lambda,
                                              double eps,
                                              ParamMode mode = ParamMode::kPractical,
-                                             RoundLedger* ledger = nullptr);
+                                             RoundLedger* ledger = nullptr,
+                                             int num_threads = 1);
 
 /// Audit: per-edge same-color neighbor counts against Definition 5.1.
 /// Returns the maximum additive overshoot

@@ -23,119 +23,7 @@ bool sender_less(std::int64_t deg_a, std::int64_t alpha_a, NodeId node_a,
   return arc_a < arc_b;
 }
 
-TokenDroppingResult token_dropping_legacy(const Digraph& game,
-                                          std::vector<int> x, int k, int delta,
-                                          const std::vector<int>& alpha,
-                                          RoundLedger* ledger) {
-  const NodeId n = game.num_nodes();
-  TokenDroppingResult res;
-  res.edge_passive.assign(static_cast<std::size_t>(game.num_arcs()), false);
-
-  std::vector<int> y(static_cast<std::size_t>(n), 0);  // passive tokens
-
-  const std::int64_t num_phases = k / delta - 1;
-  for (std::int64_t t = 1; t <= num_phases; ++t) {
-    // Step 1: active set A(t).
-    std::vector<bool> active_node(static_cast<std::size_t>(n), false);
-    for (NodeId v = 0; v < n; ++v) {
-      if (x[static_cast<std::size_t>(v)] >=
-          alpha[static_cast<std::size_t>(v)] + delta) {
-        active_node[static_cast<std::size_t>(v)] = true;
-      }
-    }
-    // Step 2: retire δ tokens at active nodes.
-    std::vector<int> xp = x;
-    for (NodeId v = 0; v < n; ++v) {
-      if (active_node[static_cast<std::size_t>(v)]) {
-        xp[static_cast<std::size_t>(v)] -= delta;
-        y[static_cast<std::size_t>(v)] += delta;
-      }
-    }
-    // Steps 3–4: receivers send proposals to eligible senders.
-    // proposals_to[u] lists receiver nodes v that proposed to u (u must
-    // decide how many to accept).
-    std::vector<std::vector<std::pair<NodeId, EdgeId>>> proposals_to(
-        static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) {
-      const std::int64_t capacity =
-          static_cast<std::int64_t>(k) - t * delta -
-          alpha[static_cast<std::size_t>(v)];
-      if (xp[static_cast<std::size_t>(v)] > capacity) continue;
-      // S(v): active in-neighbors over still-active arcs.
-      std::vector<std::pair<NodeId, EdgeId>> senders;
-      for (const Arc& a : game.in(v)) {
-        if (res.edge_passive[static_cast<std::size_t>(a.edge)]) continue;
-        if (active_node[static_cast<std::size_t>(a.node)]) {
-          senders.emplace_back(a.node, a.edge);
-        }
-      }
-      if (senders.empty()) continue;
-      const std::int64_t want = static_cast<std::int64_t>(k) - t * delta -
-                                xp[static_cast<std::size_t>(v)];
-      if (want <= 0) continue;
-      const std::size_t count =
-          std::min<std::size_t>(senders.size(), static_cast<std::size_t>(want));
-      std::sort(senders.begin(), senders.end(),
-                [&](const auto& a, const auto& b) {
-                  return sender_less(
-                      game.degree(a.first),
-                      alpha[static_cast<std::size_t>(a.first)], a.first,
-                      a.second, game.degree(b.first),
-                      alpha[static_cast<std::size_t>(b.first)], b.first,
-                      b.second);
-                });
-      for (std::size_t i = 0; i < count; ++i) {
-        proposals_to[static_cast<std::size_t>(senders[i].first)].emplace_back(
-            v, senders[i].second);
-      }
-    }
-    // Step 5: senders accept up to x'_u proposals and move tokens.
-    std::vector<int> received(static_cast<std::size_t>(n), 0);
-    std::vector<int> sent(static_cast<std::size_t>(n), 0);
-    for (NodeId u = 0; u < n; ++u) {
-      auto& props = proposals_to[static_cast<std::size_t>(u)];
-      if (props.empty()) continue;
-      const int q = std::min(static_cast<int>(props.size()),
-                             xp[static_cast<std::size_t>(u)]);
-      // Deterministic "arbitrary subset": lowest receiver id first.
-      std::sort(props.begin(), props.end());
-      for (int i = 0; i < q; ++i) {
-        const auto [v, arc] = props[static_cast<std::size_t>(i)];
-        DEC_CHECK(!res.edge_passive[static_cast<std::size_t>(arc)],
-                  "token moved over an already-passive edge");
-        res.edge_passive[static_cast<std::size_t>(arc)] = true;
-        ++received[static_cast<std::size_t>(v)];
-        ++sent[static_cast<std::size_t>(u)];
-        ++res.tokens_moved;
-      }
-    }
-    // Step 6: update active token counts.
-    for (NodeId v = 0; v < n; ++v) {
-      x[static_cast<std::size_t>(v)] = xp[static_cast<std::size_t>(v)] +
-                                       received[static_cast<std::size_t>(v)] -
-                                       sent[static_cast<std::size_t>(v)];
-      DEC_CHECK(x[static_cast<std::size_t>(v)] >= 0, "negative active tokens");
-      DEC_CHECK(x[static_cast<std::size_t>(v)] +
-                        y[static_cast<std::size_t>(v)] <=
-                    k,
-                "Lemma 4.1 violated: more than k tokens at a node");
-    }
-    ++res.phases;
-    // One phase = three communication rounds: sender announcement, receiver
-    // proposals, sender accepts/token transfer.
-    res.rounds += 3;
-    if (ledger != nullptr) ledger->charge("token_dropping", 3);
-  }
-
-  res.tokens.resize(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    res.tokens[static_cast<std::size_t>(v)] =
-        x[static_cast<std::size_t>(v)] + y[static_cast<std::size_t>(v)];
-  }
-  return res;
-}
-
-// The same game as a node program on the directed adapter. Each phase is
+// The game as a node program on the directed adapter. Each phase is
 // three genuine rounds:
 //   R1 (announce): consume the previous phase's accepts (token arrivals are
 //       receive-side and free), re-evaluate activity, retire δ, and announce
@@ -148,7 +36,7 @@ TokenDroppingResult token_dropping_legacy(const Digraph& game,
 // passivity, and token counts live in shared arrays but every slot is
 // written only by its owning node (receiver in R1, sender in R3 — never the
 // same round), so the program is race-free on the parallel engine and
-// bit-identical to the serial and legacy runs.
+// serial and parallel runs are bit-identical.
 TokenDroppingResult token_dropping_message_passing(
     const Digraph& game, std::vector<int> x0, int k, int delta,
     const std::vector<int>& alpha, RoundLedger* ledger, int num_threads) {
@@ -294,8 +182,7 @@ TokenDroppingResult token_dropping_message_passing(
 TokenDroppingResult run_token_dropping(const Digraph& game,
                                        std::vector<int> initial_tokens,
                                        const TokenDroppingParams& params,
-                                       RoundLedger* ledger, SolverEngine engine,
-                                       int num_threads) {
+                                       RoundLedger* ledger, int num_threads) {
   const NodeId n = game.num_nodes();
   const int k = params.k;
   const int delta = params.delta;
@@ -320,12 +207,8 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
       std::accumulate(initial_tokens.begin(), initial_tokens.end(),
                       std::int64_t{0});
 
-  TokenDroppingResult res =
-      engine == SolverEngine::kLegacy
-          ? token_dropping_legacy(game, std::move(initial_tokens), k, delta,
-                                  alpha, ledger)
-          : token_dropping_message_passing(game, std::move(initial_tokens), k,
-                                           delta, alpha, ledger, num_threads);
+  TokenDroppingResult res = token_dropping_message_passing(
+      game, std::move(initial_tokens), k, delta, alpha, ledger, num_threads);
 
   const std::int64_t total_after =
       std::accumulate(res.tokens.begin(), res.tokens.end(), std::int64_t{0});

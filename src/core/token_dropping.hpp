@@ -17,20 +17,19 @@
 // final slack on every active edge by
 //     2(α_u + α_v) + (deg(u)·deg(v)/(α_u·α_v) + deg(u)/α_u + deg(v)/α_v)·δ.
 //
-// By default the three rounds of each phase — sender announce, receiver
-// request, sender accept/transfer — execute as genuine node programs on the
-// directed adapter (DiNetwork over SyncNetwork), so round counts and message
-// widths are measured by the substrate's CongestAudit instead of asserted.
-// SolverEngine::kLegacy keeps the original centralized simulation for the
-// cross-engine equivalence tests; `num_threads` > 1 shards the node programs
-// over the parallel round engine with bit-identical results.
+// The three rounds of each phase — sender announce, receiver request,
+// sender accept/transfer — execute as genuine node programs on the directed
+// adapter (DiNetwork over SyncNetwork), so round counts and message widths
+// are measured by the substrate's CongestAudit instead of asserted.
+// `num_threads` > 1 shards the node programs over the parallel round engine
+// with bit-identical results (enforced by the cross-engine equivalence
+// suite, which compares serial against 2- and 4-shard runs).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/digraph.hpp"
-#include "sim/engine.hpp"
 #include "sim/ledger.hpp"
 #include "util/rng.hpp"
 
@@ -59,8 +58,6 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
                                        std::vector<int> initial_tokens,
                                        const TokenDroppingParams& params,
                                        RoundLedger* ledger = nullptr,
-                                       SolverEngine engine =
-                                           SolverEngine::kMessagePassing,
                                        int num_threads = 1);
 
 /// Theorem 4.3's slack bound for arc (u, v) of `game` under `params`.

@@ -1,10 +1,13 @@
 // Directed adapter over the undirected SyncNetwork slot plane.
 //
-// Token dropping (and the other Digraph solvers: balanced orientation,
-// defective 2EC) need per-arc message channels on an arbitrary digraph —
-// including anti-parallel pairs and parallel arcs, which the simple
-// undirected Graph underlying SyncNetwork cannot represent as distinct
-// edges. DiNetwork multiplexes them instead:
+// Every directed solver in the library runs on this adapter: token dropping
+// executes its three-round phases here, and balanced orientation / defective
+// 2-edge coloring (whose proposal/accept phases live on the undirected
+// SyncNetwork) run each embedded token-dropping game on its own DiNetwork
+// over the per-phase violation digraph. These games need per-arc message
+// channels on an arbitrary digraph — including anti-parallel pairs and
+// parallel arcs, which the simple undirected Graph underlying SyncNetwork
+// cannot represent as distinct edges. DiNetwork multiplexes them instead:
 //
 //  * Support graph. Every node pair joined by at least one arc becomes one
 //    undirected support edge, so the adapter inherits SyncNetwork's flat

@@ -29,6 +29,27 @@ TEST(BipartiteColoring, PaletteWithinTwoPlusEpsDelta) {
   }
 }
 
+TEST(BipartiteColoring, ShardedRunsAreBitIdentical) {
+  // The recursive halving feeds every split through the substrate's
+  // defective 2EC; sharding that engine must not change a single color or
+  // the parallel-part round accounting.
+  const auto bg = gen::regular_bipartite(64, 16);
+  RoundLedger serial_ledger;
+  const auto serial = bipartite_edge_coloring(bg.graph, bg.parts, 1.0,
+                                              ParamMode::kPractical,
+                                              &serial_ledger, 1);
+  for (const int threads : {2, 4}) {
+    RoundLedger ledger;
+    const auto parallel = bipartite_edge_coloring(
+        bg.graph, bg.parts, 1.0, ParamMode::kPractical, &ledger, threads);
+    EXPECT_EQ(serial.colors, parallel.colors) << "threads " << threads;
+    EXPECT_EQ(serial.rounds, parallel.rounds) << "threads " << threads;
+    EXPECT_EQ(serial.palette, parallel.palette) << "threads " << threads;
+    EXPECT_EQ(serial_ledger.breakdown(), ledger.breakdown())
+        << "threads " << threads;
+  }
+}
+
 TEST(BipartiteColoring, DisjointRangesPerPart) {
   const auto bg = gen::regular_bipartite(256, 128);
   const auto r = bipartite_edge_coloring(bg.graph, bg.parts, 1.0);

@@ -1,0 +1,172 @@
+// Property sweeps for the substrate ports of balanced orientation (§5,
+// Definition 5.2) and generalized defective 2-edge coloring (Definition 5.1,
+// Lemma 5.3): many seeded instances, each audited against the paper's
+// guarantees recomputed from scratch in the test (never trusting the
+// solver's own bookkeeping).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/defective2ec.hpp"
+#include "graph/generators.hpp"
+
+namespace dec {
+namespace {
+
+// Definition 5.2 with the run's empirical additive error β = max_excess,
+// checked against indegrees recomputed from the orientation: for every edge
+// e = {u, v} (u ∈ U, v ∈ V),
+//   oriented u→v:  x_v − x_u ≤ η_e + (1+ε)/2·deg(e) + β,
+//   oriented v→u:  x_u − x_v ≤ −η_e + (1+ε)/2·deg(e) + β.
+void expect_definition_5_2(const Graph& g, const Bipartition& parts,
+                           const std::vector<double>& eta,
+                           const Orientation& orient, double eps,
+                           double beta) {
+  std::vector<int> x(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ++x[static_cast<std::size_t>(orient.head(e))];
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId u = u_endpoint(g, parts, e);
+    const NodeId v = v_endpoint(g, parts, e);
+    const double slack =
+        (1.0 + eps) / 2.0 * g.edge_degree(e) + beta + 1e-9;
+    const double diff_vu = x[static_cast<std::size_t>(v)] -
+                           x[static_cast<std::size_t>(u)];
+    if (orient.head(e) == v) {
+      EXPECT_LE(diff_vu, eta[static_cast<std::size_t>(e)] + slack)
+          << "edge " << e;
+    } else {
+      EXPECT_LE(-diff_vu, -eta[static_cast<std::size_t>(e)] + slack)
+          << "edge " << e;
+    }
+  }
+}
+
+// Lemma 5.4's shape: the leftover pass orients O(1) edges per node. The
+// sweep's empirical worst case is 2; assert a fixed constant independent of
+// n so growth would trip the test.
+void expect_leftover_constant_per_node(const Graph& g,
+                                       const BalancedOrientationResult& r) {
+  std::int64_t marked = 0;
+  std::vector<int> per_node(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (r.leftover_edge[static_cast<std::size_t>(e)] == 0) continue;
+    ++marked;
+    const auto [a, b] = g.endpoints(e);
+    ++per_node[static_cast<std::size_t>(a)];
+    ++per_node[static_cast<std::size_t>(b)];
+  }
+  EXPECT_EQ(marked, r.leftover_edges);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(per_node[static_cast<std::size_t>(v)], 4) << "node " << v;
+  }
+}
+
+TEST(OrientationProperties, SeededSweepRandomBipartite) {
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(1000 + static_cast<std::uint64_t>(seed));
+    const auto bg = gen::random_bipartite(40 + seed % 20, 35 + seed % 15,
+                                          0.08 + 0.004 * (seed % 10), rng);
+    if (bg.graph.num_edges() == 0) continue;
+    std::vector<double> eta(static_cast<std::size_t>(bg.graph.num_edges()));
+    for (auto& v : eta) v = 6.0 * rng.next_double() - 3.0;
+    OrientationParams p;
+    p.nu = (seed % 3 == 0) ? 0.0625 : 0.125;
+    RoundLedger ledger;
+    const auto r = balanced_orientation(bg.graph, bg.parts, eta, p, &ledger);
+
+    // Every edge oriented, and the incremental bookkeeping is consistent.
+    EXPECT_EQ(r.orientation.num_oriented(), bg.graph.num_edges());
+    r.orientation.validate();
+
+    // Per-edge Definition 5.2 inequality with the run's empirical β.
+    expect_definition_5_2(bg.graph, bg.parts, eta, r.orientation,
+                          eps_from_nu(p.nu), std::max(0.0, r.max_excess));
+
+    // The leftover remainder is O(1) per node (Lemma 5.4).
+    expect_leftover_constant_per_node(bg.graph, r);
+
+    // Substrate accounting: every charged round is a measured round, and
+    // the announce payloads stay CONGEST-narrow.
+    EXPECT_EQ(ledger.total(), r.rounds);
+    EXPECT_GT(r.rounds, 0);
+    EXPECT_GT(r.max_message_bits, 0);
+    EXPECT_LE(r.max_message_bits, 64);
+  }
+}
+
+TEST(OrientationProperties, RegularInstancesStayBalanced) {
+  for (const int d : {8, 16, 24}) {
+    const auto bg = gen::regular_bipartite(4 * d, d);
+    const std::vector<double> eta(
+        static_cast<std::size_t>(bg.graph.num_edges()), 0.0);
+    OrientationParams p;
+    p.nu = 0.125;
+    const auto r = balanced_orientation(bg.graph, bg.parts, eta, p);
+    EXPECT_EQ(r.orientation.num_oriented(), bg.graph.num_edges());
+    expect_definition_5_2(bg.graph, bg.parts, eta, r.orientation,
+                          eps_from_nu(p.nu), std::max(0.0, r.max_excess));
+    expect_leftover_constant_per_node(bg.graph, r);
+    // The additive error stays small relative to Δ̄ in practical mode.
+    EXPECT_LE(r.max_excess, bg.graph.max_edge_degree() / 2.0 + 16.0);
+  }
+}
+
+// Definition 5.1 defect bounds from the Lemma 5.3 reduction, for fixed and
+// random λ. For λ = 1/4 and λ = 1/2 the sweep's empirical β' is 0, so the
+// Lemma 5.3 tolerance 2β is comfortably strict; uniform-random λ (bounded
+// away from {0,1}, where β_emp's per-edge normalization by λside diverges)
+// is held to the Δ̄-relative cap the quality experiments use.
+TEST(Defective2ECProperties, FixedLambdaQuarter) {
+  for (int seed = 0; seed < 17; ++seed) {
+    Rng rng(3000 + static_cast<std::uint64_t>(seed));
+    const auto bg =
+        gen::random_bipartite(36 + seed, 30 + seed % 12, 0.15, rng);
+    if (bg.graph.num_edges() == 0) continue;
+    const std::vector<double> lambda(
+        static_cast<std::size_t>(bg.graph.num_edges()), 0.25);
+    const auto r = defective_2_edge_coloring(bg.graph, bg.parts, lambda, 1.0);
+    EXPECT_TRUE(defective2ec_satisfies(bg.graph, lambda, r.is_red, 1.0,
+                                       2.0 * r.beta_used))
+        << "seed " << seed << " beta_emp=" << r.beta_emp;
+  }
+}
+
+TEST(Defective2ECProperties, FixedLambdaHalf) {
+  for (int seed = 0; seed < 17; ++seed) {
+    Rng rng(3100 + static_cast<std::uint64_t>(seed));
+    const auto bg =
+        gen::random_bipartite(36 + seed, 30 + seed % 12, 0.15, rng);
+    if (bg.graph.num_edges() == 0) continue;
+    const std::vector<double> lambda(
+        static_cast<std::size_t>(bg.graph.num_edges()), 0.5);
+    const auto r = defective_2_edge_coloring(bg.graph, bg.parts, lambda, 1.0);
+    EXPECT_TRUE(defective2ec_satisfies(bg.graph, lambda, r.is_red, 1.0,
+                                       2.0 * r.beta_used))
+        << "seed " << seed << " beta_emp=" << r.beta_emp;
+  }
+}
+
+TEST(Defective2ECProperties, UniformRandomLambda) {
+  for (int seed = 0; seed < 17; ++seed) {
+    Rng rng(3200 + static_cast<std::uint64_t>(seed));
+    const auto bg =
+        gen::random_bipartite(36 + seed, 30 + seed % 12, 0.15, rng);
+    if (bg.graph.num_edges() == 0) continue;
+    std::vector<double> lambda(
+        static_cast<std::size_t>(bg.graph.num_edges()));
+    for (auto& l : lambda) l = 0.2 + 0.6 * rng.next_double();
+    const auto r = defective_2_edge_coloring(bg.graph, bg.parts, lambda, 1.0);
+    EXPECT_LE(r.beta_emp, bg.graph.max_edge_degree() / 2.0 + 16.0)
+        << "seed " << seed;
+    // β_emp is by construction the smallest certifying β'; re-checking
+    // closes the loop between the two audit entry points.
+    EXPECT_TRUE(defective2ec_satisfies(bg.graph, lambda, r.is_red, 1.0,
+                                       r.beta_emp + 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace dec
