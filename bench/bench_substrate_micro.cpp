@@ -10,6 +10,8 @@
 #include "graph/line_graph.hpp"
 #include "graph/properties.hpp"
 #include "sim/network.hpp"
+#include "sim/pool.hpp"
+#include "sim/topology.hpp"
 
 namespace {
 
@@ -38,6 +40,66 @@ void BM_LineGraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LineGraph)->Arg(1000)->Arg(4000);
+
+// Topology planning alone: what a NetworkPool cache hit saves per network.
+void BM_TopologyPlan(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    auto topo = NetworkTopology::plan(g);
+    benchmark::DoNotOptimize(topo->num_slots());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_TopologyPlan)->Arg(1000)->Arg(10000);
+
+// Directed plan (support graph + lanes) on a token-game digraph.
+void BM_DiTopologyPlan(benchmark::State& state) {
+  Rng rng(8);
+  const Digraph g = layered_game(10, static_cast<int>(state.range(0)), 6, rng);
+  for (auto _ : state) {
+    auto topo = DiTopology::plan(g);
+    benchmark::DoNotOptimize(topo->num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_DiTopologyPlan)->Arg(100);
+
+// O(shards) epoch-based reset of an existing run state...
+void BM_NetworkReset(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g);
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
+      for (auto& m : out) m = Message{v};
+    });
+    net.reset();
+    benchmark::DoNotOptimize(net.rounds_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkReset)->Arg(1000)->Arg(10000);
+
+// ...vs reconstructing plan + run state from scratch each time (the cost
+// reset()/the pool avoid). Same one-round workload for a like-for-like item
+// rate.
+void BM_NetworkReconstruct(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    SyncNetwork net(g);
+    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
+      for (auto& m : out) m = Message{v};
+    });
+    benchmark::DoNotOptimize(net.rounds_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkReconstruct)->Arg(1000)->Arg(10000);
 
 // Legacy path: node program behind std::function type erasure.
 void BM_NetworkRound(benchmark::State& state) {
@@ -199,6 +261,30 @@ void BM_BalancedOrientation(benchmark::State& state) {
                           bg.graph.num_edges());
 }
 BENCHMARK(BM_BalancedOrientation)->Args({256, 1})->Args({256, 2});
+
+// Same instance with the network arena disabled: every phase rebuilds its
+// game DiNetwork (and the solver its SyncNetwork) from scratch. Results are
+// bit-identical; the delta to BM_BalancedOrientation is the pooled-arena
+// construction saving.
+void BM_BalancedOrientationUnpooled(benchmark::State& state) {
+  const auto bg = gen::regular_bipartite(
+      static_cast<NodeId>(state.range(0)), 32);
+  const std::vector<double> eta(
+      static_cast<std::size_t>(bg.graph.num_edges()), 0.0);
+  OrientationParams p;
+  p.nu = 0.125;
+  p.pooled = false;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const BalancedOrientationResult r =
+        balanced_orientation(bg.graph, bg.parts, eta, p, nullptr, 1);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.max_excess);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2 *
+                          bg.graph.num_edges());
+}
+BENCHMARK(BM_BalancedOrientationUnpooled)->Arg(256);
 
 // Generalized defective 2-edge coloring (Lemma 5.3 reduction onto the
 // balanced orientation; Args are {n_per_side, threads}).

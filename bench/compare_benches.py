@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and report per-benchmark deltas.
+
+Usage: compare_benches.py OLD.json NEW.json [--threshold PCT]
+
+For every benchmark present in both files, prints the real_time delta (and
+items_per_second when available) as a percentage of the old value. Rows whose
+real_time regressed by more than --threshold percent (default 10) are flagged
+with `!! REGRESSION`. Benchmarks present in the baseline but missing from the
+new run are listed and counted as regressions too — a bench that silently
+stopped running is exactly the rot this report exists to catch.
+
+Exit codes: 0 = no flags, 1 = regressions/missing benchmarks found (count is
+printed), 125 = the tool itself failed (unreadable/malformed JSON, ...).
+run_benches.sh distinguishes the two non-zero cases so a tooling crash is
+never reported as a perf regression.
+
+Aggregate rows (_mean/_median/_stddev/_cv) are skipped; when a file contains
+repetitions, only the per-repetition rows of the same name are averaged.
+"""
+import argparse
+import json
+import sys
+
+
+NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    counts = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate" or name.rsplit("_", 1)[-1] in (
+            "mean",
+            "median",
+            "stddev",
+            "cv",
+        ):
+            continue
+        # Average repetitions of the same benchmark name. real_time is
+        # normalized to ns here so deltas stay correct even if a benchmark's
+        # reported time_unit differs between the two files.
+        prev = out.get(name)
+        entry = {
+            "real_time": float(b.get("real_time", 0.0))
+            * NS_PER_UNIT.get(b.get("time_unit", "ns"), 1.0),
+            "items_per_second": float(b.get("items_per_second", 0.0)),
+        }
+        if prev is None:
+            out[name] = entry
+            counts[name] = 1
+        else:
+            n = counts[name] = counts[name] + 1
+            for k in ("real_time", "items_per_second"):
+                prev[k] += (entry[k] - prev[k]) / n
+    return out
+
+
+def fmt_time(ns):
+    for div, suffix in ((1e9, "s"), (1e6, "ms"), (1e3, "us")):
+        if ns >= div:
+            return f"{ns / div:.2f} {suffix}"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag real_time regressions above this percent")
+    args = ap.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    common = [n for n in new if n in old]
+    regressions = 0
+    if common:
+        width = max(len(n) for n in common)
+        print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  "
+              f"{'time Δ':>8}  {'items/s Δ':>9}")
+    else:
+        # Still fall through: the missing-from-new accounting below must run
+        # even (especially) when nothing survived into the new file.
+        print("no common benchmarks between the two files", file=sys.stderr)
+    for name in common:
+        o, n = old[name], new[name]
+        if o["real_time"] <= 0:
+            continue
+        dt = 100.0 * (n["real_time"] - o["real_time"]) / o["real_time"]
+        if o["items_per_second"] > 0 and n["items_per_second"] > 0:
+            dips = 100.0 * (n["items_per_second"] - o["items_per_second"]) \
+                / o["items_per_second"]
+            ips = f"{dips:+8.1f}%"
+        else:
+            ips = "        -"
+        flag = ""
+        if dt > args.threshold:
+            flag = "  !! REGRESSION"
+            regressions += 1
+        print(f"{name:<{width}}  {fmt_time(o['real_time']):>10}  "
+              f"{fmt_time(n['real_time']):>10}  {dt:+7.1f}%  "
+              f"{ips}{flag}")
+    new_only = [n for n in new if n not in old]
+    if new_only:
+        print(f"(new benchmarks, no baseline: {', '.join(new_only)})")
+    old_only = [n for n in old if n not in new]
+    if old_only:
+        print(f"!! MISSING from new run (present in baseline): "
+              f"{', '.join(old_only)}", file=sys.stderr)
+        regressions += len(old_only)
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% in real time or went missing",
+              file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit:
+        raise
+    except Exception as e:  # tool failure, not a perf verdict
+        print(f"compare_benches.py failed: {e}", file=sys.stderr)
+        sys.exit(125)

@@ -3,6 +3,12 @@
 # a BENCH_*.json perf trajectory to diff against (items_per_second of
 # BM_NetworkRound* is the substrate headline number).
 #
+# After each run, the result is diffed against the most recent previous
+# BENCH_<name>_*.json in the output directory (bench/compare_benches.py):
+# per-benchmark % change, real-time regressions beyond
+# $BENCH_REGRESSION_PCT (default 10%) flagged. The delta report is advisory
+# by default; set BENCH_FAIL_ON_REGRESSION=1 to exit non-zero on flags.
+#
 # Usage: bench/run_benches.sh [build_dir] [out_dir]
 #   build_dir: CMake build tree containing the bench binaries (default: build)
 #   out_dir:   where BENCH_<name>_<stamp>.json files land (default: bench/results)
@@ -12,6 +18,9 @@ BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench/results}
 STAMP=$(date +%Y%m%d_%H%M%S)
 MIN_TIME=${BENCH_MIN_TIME:-2}
+REGRESSION_PCT=${BENCH_REGRESSION_PCT:-10}
+FAIL_ON_REGRESSION=${BENCH_FAIL_ON_REGRESSION:-0}
+SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
 
 mkdir -p "$OUT_DIR"
 
@@ -26,12 +35,37 @@ for name in "${GBENCH_BINARIES[@]}"; do
     continue
   fi
   out="$OUT_DIR/BENCH_${name}_${STAMP}.json"
+  # Baseline = most recent previous result for this binary (before we write
+  # the new one).
+  prev=$(ls -1 "$OUT_DIR"/BENCH_"${name}"_*.json 2>/dev/null | sort | tail -1 || true)
   echo "== $name -> $out"
   "$bin" --benchmark_min_time="$MIN_TIME" \
          --benchmark_format=console \
          --benchmark_out_format=json \
          --benchmark_out="$out"
   ran=$((ran + 1))
+  if [[ -n "$prev" ]]; then
+    echo "== delta vs $(basename "$prev") (regression threshold ${REGRESSION_PCT}%)"
+    rc=0
+    python3 "$SCRIPT_DIR/compare_benches.py" "$prev" "$out" \
+      --threshold "$REGRESSION_PCT" || rc=$?
+    if [[ "$rc" -eq 1 ]]; then
+      # Genuine regression verdict (count printed by the tool).
+      if [[ "$FAIL_ON_REGRESSION" == "1" ]]; then
+        echo "error: benchmark regressions above ${REGRESSION_PCT}%" >&2
+        exit 2
+      fi
+    elif [[ "$rc" -ne 0 ]]; then
+      # Tooling failure (e.g. malformed baseline JSON) — surface it loudly,
+      # but never dress it up as a perf regression.
+      echo "warning: delta tooling failed (exit $rc); no perf verdict" >&2
+      if [[ "$FAIL_ON_REGRESSION" == "1" ]]; then
+        exit 3
+      fi
+    fi
+  else
+    echo "== no previous BENCH_${name}_*.json; skipping delta report"
+  fi
 done
 
 if [[ "$ran" -eq 0 ]]; then

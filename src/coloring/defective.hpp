@@ -43,6 +43,8 @@
 
 namespace dec {
 
+class NetworkPool;
+
 struct DefectiveResult {
   std::vector<Color> colors;
   int palette = 0;
@@ -61,7 +63,8 @@ DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger = nullptr,
-                                   int num_threads = 1);
+                                   int num_threads = 1,
+                                   NetworkPool* pool = nullptr);
 
 /// Threshold local search over the classes of `classes` (any coloring with
 /// values in [0, num_classes); independence not required). Produces a
@@ -76,14 +79,16 @@ DefectiveResult defective_refine(const Graph& g,
                                  int move_threshold, int max_sweeps,
                                  RoundLedger* ledger = nullptr,
                                  int num_threads = 1,
-                                 bool dirty_announce = true);
+                                 bool dirty_announce = true,
+                                 NetworkPool* pool = nullptr);
 
 /// Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring from a proper O(Δ²)-coloring.
 DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
                                      RoundLedger* ledger = nullptr,
-                                     int num_threads = 1);
+                                     int num_threads = 1,
+                                     NetworkPool* pool = nullptr);
 
 /// General split: num_colors-coloring with defect ≤ target_defect, where
 /// target_defect must be ≥ ceil(Δ/num_colors) + 1. Used by Theorem D.4's
@@ -93,6 +98,7 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int input_palette, int num_colors,
                                          int target_defect,
                                          RoundLedger* ledger = nullptr,
-                                         int num_threads = 1);
+                                         int num_threads = 1,
+                                         NetworkPool* pool = nullptr);
 
 }  // namespace dec

@@ -5,6 +5,7 @@
 
 #include "graph/line_graph.hpp"
 #include "sim/network.hpp"
+#include "sim/pool.hpp"
 #include "util/prime.hpp"
 
 namespace dec {
@@ -53,7 +54,7 @@ std::int64_t eval_digit_poly(std::int64_t color, std::int64_t q, int d,
 
 LinialResult linial_color(const Graph& g, RoundLedger* ledger,
                           std::vector<Color> initial, std::int64_t id_space,
-                          int num_threads) {
+                          int num_threads, NetworkPool* pool) {
   const NodeId n = g.num_nodes();
   if (initial.empty()) {
     initial.resize(static_cast<std::size_t>(n));
@@ -81,7 +82,9 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
     return res;
   }
 
-  ParallelSyncNetwork net(g, ledger, "linial", num_threads);
+  // ScopedNetwork resolves the 0-means-hardware convention itself.
+  ScopedNetwork net_scope(pool, g, ledger, "linial", num_threads);
+  SyncNetwork& net = *net_scope;
   std::int64_t m = id_space;
 
   // Precompute the (q, d) schedule; all nodes know n and Δ, so the schedule
@@ -152,9 +155,9 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
 }
 
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger,
-                               int num_threads) {
+                               int num_threads, NetworkPool* pool) {
   const Graph lg = line_graph(g);
-  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads);
+  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads, pool);
   DEC_CHECK(is_proper_edge_coloring(g, res.colors),
             "line-graph coloring is not a proper edge coloring");
   return res;

@@ -22,6 +22,8 @@
 
 namespace dec {
 
+class NetworkPool;
+
 struct LinialResult {
   std::vector<Color> colors;   // proper coloring
   int palette = 0;             // colors are in [0, palette)
@@ -42,16 +44,21 @@ LinialStep linial_step_params(std::int64_t m, int max_degree);
 /// `initial` is a proper coloring with values in [0, id_space); when empty,
 /// node ids are used (id_space defaults to n). `num_threads` > 1 runs the
 /// simulation on the parallel round engine (0 = hardware concurrency); the
-/// result is bit-identical to the serial engine.
+/// result is bit-identical to the serial engine. `pool` (optional) leases
+/// the network from an arena — callers that run several substrate stages on
+/// the same graph (congest coloring's Linial + defective stages) share one
+/// topology plan and buffer arena this way.
 LinialResult linial_color(const Graph& g, RoundLedger* ledger = nullptr,
                           std::vector<Color> initial = {},
-                          std::int64_t id_space = 0, int num_threads = 1);
+                          std::int64_t id_space = 0, int num_threads = 1,
+                          NetworkPool* pool = nullptr);
 
 /// Run Linial on the line graph of g, producing a proper *edge* coloring of g
 /// with O(Δ̄²) colors in O(log* m) rounds. (In LOCAL/CONGEST a node simulates
 /// its incident edges at constant overhead, so charging the line-graph rounds
 /// directly is faithful.)
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger = nullptr,
-                               int num_threads = 1);
+                               int num_threads = 1,
+                               NetworkPool* pool = nullptr);
 
 }  // namespace dec

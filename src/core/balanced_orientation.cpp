@@ -6,6 +6,7 @@
 
 #include "core/token_dropping.hpp"
 #include "sim/network.hpp"
+#include "sim/pool.hpp"
 
 namespace dec {
 
@@ -42,7 +43,8 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
                                                const std::vector<double>& eta,
                                                const OrientationParams& params,
                                                RoundLedger* ledger,
-                                               int num_threads) {
+                                               int num_threads,
+                                               NetworkPool* pool) {
   validate_bipartition(g, parts);
   DEC_REQUIRE(eta.size() == static_cast<std::size_t>(g.num_edges()),
               "eta has wrong length");
@@ -57,7 +59,17 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
   BalancedOrientationResult res{Orientation(g)};
   res.leftover_edge.assign(static_cast<std::size_t>(m), 0);
 
-  SyncNetwork net(g, ledger, "balanced_orientation", num_threads);
+  // One arena for the whole run: the solver's own network plus every
+  // per-phase token dropping game lease from it, so phase φ+1's game reuses
+  // phase φ's buffers instead of rebuilding planes, slabs, and thread pools.
+  std::optional<NetworkPool> own_pool;
+  if (pool == nullptr && params.pooled) {
+    own_pool.emplace(num_threads);
+    pool = &*own_pool;
+  }
+  ScopedNetwork net_scope(pool, g, ledger, "balanced_orientation",
+                          num_threads);
+  SyncNetwork& net = *net_scope;
 
   // Node-owned state (each slot written only by its owning node's program,
   // or serially between rounds).
@@ -152,7 +164,11 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
         EdgeId e;
         std::uint32_t i;
       };
-      std::vector<Cand> cands;
+      // Per-worker scratch reused across node steps (capacity only — the
+      // contents are rebuilt per node), saving a heap allocation per node
+      // per phase.
+      thread_local std::vector<Cand> cands;
+      cands.clear();
       for (std::size_t i = 0; i < nb.size(); ++i) {
         if (inc_unoriented[net.slot(w, i)] == 0) continue;
         const Message& msg = in[i];
@@ -249,7 +265,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
             std::min<int>(accepted_count[static_cast<std::size_t>(v)], tp.k);
       }
       TokenDroppingResult game_res = run_token_dropping(
-          game, std::move(tokens), tp, ledger, num_threads);
+          game, std::move(tokens), tp, ledger, num_threads, pool);
       game_rounds += game_res.rounds;
       res.max_message_bits =
           std::max(res.max_message_bits, game_res.max_message_bits);

@@ -46,6 +46,8 @@
 
 namespace dec {
 
+class NetworkPool;
+
 struct BalancedOrientationResult {
   Orientation orientation;      // every edge oriented
   std::int64_t phases = 0;
@@ -60,12 +62,16 @@ struct BalancedOrientationResult {
 
 /// Compute a balanced orientation w.r.t. `eta` (size m). ε = 8ν.
 /// `num_threads` > 1 runs the node programs on the parallel round engine.
+/// `pool` (optional) is the network arena the solver's own network and every
+/// per-phase game lease from; when null (and params.pooled), the solver
+/// creates one internally so all its phases still share a single arena.
 BalancedOrientationResult balanced_orientation(const Graph& g,
                                                const Bipartition& parts,
                                                const std::vector<double>& eta,
                                                const OrientationParams& params,
                                                RoundLedger* ledger = nullptr,
-                                               int num_threads = 1);
+                                               int num_threads = 1,
+                                               NetworkPool* pool = nullptr);
 
 /// Recompute the per-edge balance excess of an orientation:
 /// excess(e) = (x_head-side difference beyond η_e) − (ε/2)·deg(e).

@@ -7,6 +7,7 @@
 #include "coloring/linial.hpp"
 #include "core/defective2ec.hpp"
 #include "graph/line_graph.hpp"
+#include "sim/pool.hpp"
 #include "util/prime.hpp"
 
 namespace dec {
@@ -16,11 +17,12 @@ namespace {
 /// (d+1)-edge coloring of a (sub)graph via Linial-on-line-graph + the
 /// arithmetic-progression reduction + greedy reduction. Returns rounds.
 std::int64_t color_leaf_part(const Graph& sub, std::vector<Color>& out,
-                             RoundLedger* ledger) {
+                             RoundLedger* ledger, int num_threads,
+                             NetworkPool* pool) {
   std::int64_t rounds = 0;
   if (sub.num_edges() == 0) return rounds;
   const Graph lg = line_graph(sub);
-  const LinialResult lin = linial_color(lg, ledger);
+  const LinialResult lin = linial_color(lg, ledger, {}, 0, num_threads, pool);
   rounds += lin.rounds;
   if (lg.max_degree() == 0) {
     out.assign(static_cast<std::size_t>(sub.num_edges()), 0);
@@ -44,9 +46,19 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
                                                 const Bipartition& parts,
                                                 double eps, ParamMode mode,
                                                 RoundLedger* ledger,
-                                                int num_threads) {
+                                                int num_threads,
+                                                NetworkPool* pool) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   validate_bipartition(g, parts);
+
+  // One arena across every level, part, and leaf stage: the per-part
+  // subgraphs change shape, but their run states (buffers, slabs, thread
+  // pools) are reused in place instead of rebuilt per part.
+  std::optional<NetworkPool> own_pool;
+  if (pool == nullptr) {
+    own_pool.emplace(num_threads);
+    pool = &*own_pool;
+  }
 
   BipartiteColoringResult res;
   res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
@@ -121,7 +133,7 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
           static_cast<std::size_t>(sub.num_edges()), 0.5);
       RoundLedger local;
       const Defective2ECResult split = defective_2_edge_coloring(
-          sub, parts, lambda, chi, mode, &local, num_threads);
+          sub, parts, lambda, chi, mode, &local, num_threads, pool);
       level_rounds = std::max(level_rounds, local.total());
       for (std::size_t i = 0; i < members.size(); ++i) {
         // Red stays at index 2p, blue moves to 2p+1.
@@ -154,7 +166,9 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
               "the mode's β underestimated the split error");
     RoundLedger local;
     std::vector<Color> sub_colors;
-    leaf_rounds = std::max(leaf_rounds, color_leaf_part(sub, sub_colors, &local));
+    leaf_rounds = std::max(
+        leaf_rounds,
+        color_leaf_part(sub, sub_colors, &local, num_threads, pool));
     leaf_rounds = std::max(leaf_rounds, local.total());
     for (std::size_t i = 0; i < members.size(); ++i) {
       res.colors[static_cast<std::size_t>(members[i])] =

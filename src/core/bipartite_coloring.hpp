@@ -22,6 +22,8 @@
 
 namespace dec {
 
+class NetworkPool;
+
 struct BipartiteColoringResult {
   std::vector<Color> colors;
   int palette = 0;           // colors fit in [0, palette)
@@ -33,10 +35,12 @@ struct BipartiteColoringResult {
 
 /// Color the edges of a 2-colored bipartite graph with ~(2+ε)Δ colors in
 /// polylog(Δ) rounds. ε ∈ (0, 1]. `num_threads` > 1 shards the defective
-/// 2-edge-coloring splits over the parallel round engine.
+/// 2-edge-coloring splits over the parallel round engine. All levels, parts,
+/// and leaf Linial stages share one network arena (`pool`, or an internal
+/// one when null); results are bit-identical with or without pooling.
 BipartiteColoringResult bipartite_edge_coloring(
     const Graph& g, const Bipartition& parts, double eps,
     ParamMode mode = ParamMode::kPractical, RoundLedger* ledger = nullptr,
-    int num_threads = 1);
+    int num_threads = 1, NetworkPool* pool = nullptr);
 
 }  // namespace dec

@@ -8,6 +8,7 @@
 #include "coloring/linial.hpp"
 #include "core/bipartite_coloring.hpp"
 #include "graph/subgraph.hpp"
+#include "sim/pool.hpp"
 #include "util/logstar.hpp"
 
 namespace dec {
@@ -15,14 +16,29 @@ namespace dec {
 CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
                                             ParamMode mode,
                                             RoundLedger* ledger,
-                                            int num_threads) {
+                                            int num_threads,
+                                            NetworkPool* pool) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   CongestColoringResult res;
   res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
   if (g.num_edges() == 0) return res;
 
+  // 0 = hardware concurrency (see header); resolve once so every stage —
+  // and the arena they share — agrees on the shard count.
+  num_threads = resolve_num_threads(num_threads);
+
+  // One arena for the whole pipeline: the level-0 Linial, precolor, and
+  // refine stages all run on g's shape (one topology plan, one buffer
+  // arena), and deeper levels / bipartite stages reuse the run states in
+  // place.
+  std::optional<NetworkPool> own_pool;
+  if (pool == nullptr) {
+    own_pool.emplace(num_threads);
+    pool = &*own_pool;
+  }
+
   // Initial O(Δ²)-vertex coloring (O(log* n) rounds; CONGEST-legal).
-  const LinialResult lin = linial_color(g, ledger, {}, 0, num_threads);
+  const LinialResult lin = linial_color(g, ledger, {}, 0, num_threads, pool);
   res.rounds += lin.rounds;
 
   const int delta0 = g.max_degree();
@@ -50,7 +66,7 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
     RoundLedger local;
     const DefectiveResult def4 =
         defective_4_coloring(cur.graph, lin.colors, lin.palette, eps1, &local,
-                             num_threads);
+                             num_threads, pool);
     res.rounds += def4.rounds;
     if (ledger != nullptr) ledger->charge("defective4", def4.rounds);
 
@@ -84,7 +100,7 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
       EdgeSubgraph bip = edge_subgraph(g, take);
       RoundLedger bip_ledger;
       const BipartiteColoringResult bc = bipartite_edge_coloring(
-          bip.graph, parts, eps, mode, &bip_ledger);
+          bip.graph, parts, eps, mode, &bip_ledger, num_threads, pool);
       res.rounds += bc.rounds;
       if (ledger != nullptr) ledger->charge("bipartite_level", bc.rounds);
       for (std::size_t i = 0; i < bip.members.size(); ++i) {

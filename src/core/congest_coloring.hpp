@@ -22,6 +22,8 @@
 
 namespace dec {
 
+class NetworkPool;
+
 struct CongestColoringResult {
   std::vector<Color> colors;
   int palette = 0;
@@ -34,9 +36,12 @@ struct CongestColoringResult {
 /// runs the SyncNetwork-backed subroutines (Linial and the Lemma 6.2
 /// defective precolor/refine node programs) on the parallel round engine
 /// (1 = serial, 0 = hardware concurrency); results are bit-identical across
-/// engines.
+/// engines. All stages share one network arena (`pool`, or an internal one
+/// when null): the level-0 Linial, precolor, and refine stages run on the
+/// same graph shape and reuse a single topology plan.
 CongestColoringResult congest_edge_coloring(
     const Graph& g, double eps, ParamMode mode = ParamMode::kPractical,
-    RoundLedger* ledger = nullptr, int num_threads = 1);
+    RoundLedger* ledger = nullptr, int num_threads = 1,
+    NetworkPool* pool = nullptr);
 
 }  // namespace dec

@@ -22,7 +22,8 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
                                              const std::vector<double>& lambda,
                                              double eps, ParamMode mode,
                                              RoundLedger* ledger,
-                                             int num_threads) {
+                                             int num_threads,
+                                             NetworkPool* pool) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   DEC_REQUIRE(lambda.size() == static_cast<std::size_t>(g.num_edges()),
               "lambda has wrong length");
@@ -44,7 +45,7 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
   op.nu = std::min(0.125, nu_from_eps(eps));
   op.mode = mode;
   const BalancedOrientationResult bo =
-      balanced_orientation(g, parts, eta, op, ledger, num_threads);
+      balanced_orientation(g, parts, eta, op, ledger, num_threads, pool);
 
   Defective2ECResult res;
   res.phases = bo.phases;

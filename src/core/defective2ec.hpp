@@ -42,13 +42,16 @@ double eta_of_lambda(const Graph& g, const Bipartition& parts, EdgeId e,
 /// Solve the generalized defective 2-edge coloring on a 2-colored bipartite
 /// graph. `lambda` has one entry per edge. ε ∈ (0, 1]; ν = ε/8 internally.
 /// `num_threads` > 1 shards the node programs over the parallel engine.
+/// `pool` (optional) is the network arena the underlying orientation and its
+/// per-phase games lease from; results are bit-identical with or without it.
 Defective2ECResult defective_2_edge_coloring(const Graph& g,
                                              const Bipartition& parts,
                                              const std::vector<double>& lambda,
                                              double eps,
                                              ParamMode mode = ParamMode::kPractical,
                                              RoundLedger* ledger = nullptr,
-                                             int num_threads = 1);
+                                             int num_threads = 1,
+                                             NetworkPool* pool = nullptr);
 
 /// Audit: per-edge same-color neighbor counts against Definition 5.1.
 /// Returns the maximum additive overshoot

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/dinetwork.hpp"
+#include "sim/pool.hpp"
 
 namespace dec {
 
@@ -39,7 +40,8 @@ bool sender_less(std::int64_t deg_a, std::int64_t alpha_a, NodeId node_a,
 // serial and parallel runs are bit-identical.
 TokenDroppingResult token_dropping_message_passing(
     const Digraph& game, std::vector<int> x0, int k, int delta,
-    const std::vector<int>& alpha, RoundLedger* ledger, int num_threads) {
+    const std::vector<int>& alpha, RoundLedger* ledger, int num_threads,
+    NetworkPool* pool) {
   const NodeId n = game.num_nodes();
   TokenDroppingResult res;
 
@@ -50,7 +52,8 @@ TokenDroppingResult token_dropping_message_passing(
   std::vector<char> passive(static_cast<std::size_t>(game.num_arcs()), 0);
   std::vector<std::int64_t> moved(static_cast<std::size_t>(n), 0);
 
-  DiNetwork net(game, ledger, "token_dropping", num_threads);
+  ScopedDiNetwork net_scope(pool, game, ledger, "token_dropping", num_threads);
+  DiNetwork& net = *net_scope;
 
   // Receive-side half of a transfer: the accept that was in flight arrives
   // and the token materializes. The arc's passivity was already recorded by
@@ -105,7 +108,11 @@ TokenDroppingResult token_dropping_message_passing(
         EdgeId arc;
         std::size_t j;
       };
-      std::vector<Cand> senders;
+      // Per-worker scratch, rebuilt from scratch for every node: reusing the
+      // capacity avoids a heap allocation per node step (tens of thousands
+      // per run) without affecting results.
+      thread_local std::vector<Cand> senders;
+      senders.clear();
       for (std::size_t j = 0; j < in_arcs.size(); ++j) {
         if (passive[static_cast<std::size_t>(in_arcs[j].edge)] != 0) continue;
         const ArcView ann = in.along(j);
@@ -133,7 +140,8 @@ TokenDroppingResult token_dropping_message_passing(
         EdgeId arc;
         std::size_t j;
       };
-      std::vector<Prop> props;
+      thread_local std::vector<Prop> props;  // see the R2 scratch note
+      props.clear();
       for (std::size_t j = 0; j < out_arcs.size(); ++j) {
         if (in.against(j).empty()) continue;
         props.push_back({out_arcs[j].node, out_arcs[j].edge, j});
@@ -182,7 +190,8 @@ TokenDroppingResult token_dropping_message_passing(
 TokenDroppingResult run_token_dropping(const Digraph& game,
                                        std::vector<int> initial_tokens,
                                        const TokenDroppingParams& params,
-                                       RoundLedger* ledger, int num_threads) {
+                                       RoundLedger* ledger, int num_threads,
+                                       NetworkPool* pool) {
   const NodeId n = game.num_nodes();
   const int k = params.k;
   const int delta = params.delta;
@@ -208,7 +217,8 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
                       std::int64_t{0});
 
   TokenDroppingResult res = token_dropping_message_passing(
-      game, std::move(initial_tokens), k, delta, alpha, ledger, num_threads);
+      game, std::move(initial_tokens), k, delta, alpha, ledger, num_threads,
+      pool);
 
   const std::int64_t total_after =
       std::accumulate(res.tokens.begin(), res.tokens.end(), std::int64_t{0});

@@ -35,6 +35,8 @@
 
 namespace dec {
 
+class NetworkPool;
+
 struct TokenDroppingParams {
   int k = 1;                  // maximum tokens per node
   int delta = 1;              // δ batch size (>= 1); must satisfy δ <= α_v
@@ -54,11 +56,16 @@ struct TokenDroppingResult {
 /// Preconditions: initial_tokens[v] in [0, k]; alpha[v] >= delta.
 /// Postconditions (checked): τ(v) <= k for all v; at most one token crossed
 /// each arc; token count conserved.
+/// `pool` (optional) leases the game's DiNetwork from an arena instead of
+/// building it — callers running many games (balanced orientation's phases)
+/// pass one pool so buffers and thread pools are reused; results are
+/// bit-identical with or without it.
 TokenDroppingResult run_token_dropping(const Digraph& game,
                                        std::vector<int> initial_tokens,
                                        const TokenDroppingParams& params,
                                        RoundLedger* ledger = nullptr,
-                                       int num_threads = 1);
+                                       int num_threads = 1,
+                                       NetworkPool* pool = nullptr);
 
 /// Theorem 4.3's slack bound for arc (u, v) of `game` under `params`.
 double theorem_4_3_bound(const Digraph& game, const TokenDroppingParams& params,

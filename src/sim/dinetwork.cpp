@@ -1,106 +1,67 @@
 #include "sim/dinetwork.hpp"
 
-#include <algorithm>
 #include <utility>
 
 namespace dec {
 
 namespace {
 
-std::pair<NodeId, NodeId> support_pair(NodeId u, NodeId v) {
-  return {std::min(u, v), std::max(u, v)};
+std::shared_ptr<const DiTopology> require_topo(
+    std::shared_ptr<const DiTopology> topo) {
+  DEC_REQUIRE(topo != nullptr, "null topology");
+  return topo;
 }
 
 }  // namespace
 
-Graph DiNetwork::build_support(const Digraph& dg) {
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  pairs.reserve(static_cast<std::size_t>(dg.num_arcs()));
-  for (EdgeId a = 0; a < dg.num_arcs(); ++a) {
-    const auto [u, v] = dg.arc(a);
-    pairs.push_back(support_pair(u, v));
-  }
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-  return Graph(dg.num_nodes(), std::move(pairs));
-}
-
 DiNetwork::DiNetwork(const Digraph& dg, RoundLedger* ledger,
                      std::string component, int num_threads)
+    : DiNetwork(dg, DiTopology::plan(dg, num_threads), ledger,
+                std::move(component)) {}
+
+DiNetwork::DiNetwork(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
+                     RoundLedger* ledger, std::string component)
     : dg_(&dg),
-      support_(build_support(dg)),
-      net_(support_, ledger, std::move(component), num_threads) {
-  const std::size_t num_arcs = static_cast<std::size_t>(dg.num_arcs());
+      topo_(require_topo(std::move(topo))),
+      net_(topo_->support(), topo_->support_topology(), ledger,
+           std::move(component)) {
+  DEC_REQUIRE(topo_->matches(dg), "topology does not fit the digraph");
+  bind_plan();
+}
 
-  // Incidence index of the support edge {u, v} inside u's adjacency; the
-  // adjacency is sorted by neighbor and simple, so binary search is exact.
-  auto incidence_of = [&](NodeId u, NodeId v) {
-    const auto nb = support_.neighbors(u);
-    const auto it = std::lower_bound(
-        nb.begin(), nb.end(), v,
-        [](const Incidence& inc, NodeId t) { return inc.neighbor < t; });
-    DEC_CHECK(it != nb.end() && it->neighbor == v,
-              "support graph is missing an arc's node pair");
-    return static_cast<std::uint32_t>(it - nb.begin());
-  };
+void DiNetwork::bind_plan() {
+  ref_ = topo_->refs().data();
+  soff_ = topo_->soff().data();
+  pack_off_ = topo_->pack_off().data();
+  pack_list_ = topo_->pack().data();
+  const std::size_t channels =
+      2 * static_cast<std::size_t>(topo_->num_arcs());
+  // Stale scratch never leaks: clear_scratch runs per node before its step
+  // reads or packs anything, so plain resize (capacity-reusing) suffices.
+  scratch_len_.resize(channels);
+  scratch_fields_.resize(channels * kMaxArcFields);
+}
 
-  // Group arcs by support edge to assign lanes (arc-id order within a pair).
-  std::vector<std::vector<EdgeId>> edge_arcs(
-      static_cast<std::size_t>(support_.num_edges()));
-  ref_.resize(num_arcs);
-  for (EdgeId a = 0; a < dg.num_arcs(); ++a) {
-    const auto [u, v] = dg.arc(a);
-    const EdgeId e = support_.find_edge(u, v);
-    DEC_CHECK(e != kInvalidEdge, "arc pair missing from the support graph");
-    edge_arcs[static_cast<std::size_t>(e)].push_back(a);
-    ref_[static_cast<std::size_t>(a)].tail_inc = incidence_of(u, v);
-    ref_[static_cast<std::size_t>(a)].head_inc = incidence_of(v, u);
-  }
-  for (auto& lanes : edge_arcs) {
-    // push order is ascending arc id already; keep the sort as documentation
-    // of the lane invariant both endpoints rely on.
-    std::sort(lanes.begin(), lanes.end());
-    for (std::size_t l = 0; l < lanes.size(); ++l) {
-      ref_[static_cast<std::size_t>(lanes[l])].lane =
-          static_cast<std::uint32_t>(l);
-      ref_[static_cast<std::size_t>(lanes[l])].lane_count =
-          static_cast<std::uint32_t>(lanes.size());
-    }
-  }
+void DiNetwork::reset() { net_.reset(); }
 
-  // Per-incidence packing lists: for v's incidence of edge e, the scratch
-  // slots of v's side of every lane of e, in lane order.
-  soff_.assign(static_cast<std::size_t>(support_.num_nodes()) + 1, 0);
-  for (NodeId v = 0; v < support_.num_nodes(); ++v) {
-    soff_[static_cast<std::size_t>(v) + 1] =
-        soff_[static_cast<std::size_t>(v)] + support_.neighbors(v).size();
-  }
-  pack_off_.assign(soff_.back() + 1, 0);
-  for (NodeId v = 0; v < support_.num_nodes(); ++v) {
-    const auto nb = support_.neighbors(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      pack_off_[soff_[static_cast<std::size_t>(v)] + i + 1] =
-          edge_arcs[static_cast<std::size_t>(nb[i].edge)].size();
-    }
-  }
-  for (std::size_t i = 1; i < pack_off_.size(); ++i) {
-    pack_off_[i] += pack_off_[i - 1];
-  }
-  pack_.resize(pack_off_.back());
-  for (NodeId v = 0; v < support_.num_nodes(); ++v) {
-    const auto nb = support_.neighbors(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      std::size_t w = pack_off_[soff_[static_cast<std::size_t>(v)] + i];
-      for (const EdgeId a : edge_arcs[static_cast<std::size_t>(nb[i].edge)]) {
-        const bool is_tail = dg.arc(a).first == v;
-        pack_[w++] = is_tail ? static_cast<std::uint32_t>(a)
-                             : static_cast<std::uint32_t>(num_arcs + a);
-      }
-    }
-  }
+void DiNetwork::reset(RoundLedger* ledger, std::string component) {
+  net_.reset(ledger, std::move(component));
+}
 
-  scratch_len_.assign(2 * num_arcs, 0);
-  scratch_fields_.assign(2 * num_arcs * kMaxArcFields, 0);
+void DiNetwork::rebind(const Digraph& dg,
+                       std::shared_ptr<const DiTopology> topo,
+                       RoundLedger* ledger, std::string component) {
+  DEC_REQUIRE(topo != nullptr, "null topology");
+  DEC_REQUIRE(topo->matches(dg), "topology does not fit the digraph");
+  dg_ = &dg;
+  if (topo.get() == topo_.get()) {
+    net_.reset(ledger, std::move(component));
+    return;
+  }
+  topo_ = std::move(topo);
+  net_.rebind(topo_->support(), topo_->support_topology(), ledger,
+              std::move(component));
+  bind_plan();
 }
 
 void DiNetwork::clear_scratch(NodeId v) {
@@ -108,7 +69,7 @@ void DiNetwork::clear_scratch(NodeId v) {
   const std::size_t hi = soff_[static_cast<std::size_t>(v) + 1];
   for (std::size_t i = lo; i < hi; ++i) {
     for (std::size_t k = pack_off_[i]; k < pack_off_[i + 1]; ++k) {
-      scratch_len_[pack_[k]] = 0;
+      scratch_len_[pack_list_[k]] = 0;
     }
   }
 }
@@ -130,21 +91,23 @@ void DiNetwork::pack(NodeId v, Outbox& out) {
     const std::size_t phi = pack_off_[i + 1];
     bool any = false;
     for (std::size_t k = plo; k < phi && !any; ++k) {
-      any = scratch_len_[pack_[k]] > 0;
+      any = scratch_len_[pack_list_[k]] > 0;
     }
     if (!any) continue;  // slot untouched: nothing goes on the wire
     Message& m = out[i - lo];
     const bool framed = phi - plo > 1;
     for (std::size_t k = plo; k < phi; ++k) {
-      const std::uint32_t len = scratch_len_[pack_[k]];
+      const std::uint32_t len = scratch_len_[pack_list_[k]];
       if (framed) m.push(static_cast<std::int64_t>(len));
-      const std::int64_t* f = scratch_fields_.data() + pack_[k] * kMaxArcFields;
+      const std::int64_t* f =
+          scratch_fields_.data() + pack_list_[k] * kMaxArcFields;
       for (std::uint32_t t = 0; t < len; ++t) m.push(f[t]);
     }
   }
 }
 
-ArcView DiNetwork::extract(const Message& m, const ArcRef& ref) const {
+ArcView DiNetwork::extract(const Message& m,
+                           const DiTopology::ArcRef& ref) const {
   if (m.empty()) return {};
   const auto f = m.fields();
   if (ref.lane_count == 1) return {f.data(), f.size()};

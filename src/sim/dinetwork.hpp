@@ -3,25 +3,27 @@
 // Every directed solver in the library runs on this adapter: token dropping
 // executes its three-round phases here, and balanced orientation / defective
 // 2-edge coloring (whose proposal/accept phases live on the undirected
-// SyncNetwork) run each embedded token-dropping game on its own DiNetwork
-// over the per-phase violation digraph. These games need per-arc message
-// channels on an arbitrary digraph — including anti-parallel pairs and
-// parallel arcs, which the simple undirected Graph underlying SyncNetwork
-// cannot represent as distinct edges. DiNetwork multiplexes them instead:
+// SyncNetwork) run each embedded token-dropping game on a DiNetwork over the
+// per-phase violation digraph. These games need per-arc message channels on
+// an arbitrary digraph — including anti-parallel pairs and parallel arcs,
+// which the simple undirected Graph underlying SyncNetwork cannot represent
+// as distinct edges. DiNetwork multiplexes them instead:
 //
-//  * Support graph. Every node pair joined by at least one arc becomes one
-//    undirected support edge, so the adapter inherits SyncNetwork's flat
-//    slot plane, epoch-tagged validity, swap delivery, per-round
-//    CongestAudit, and the parallel round engine unchanged.
+//  * Support graph + lanes. The plan — one undirected support edge per node
+//    pair with at least one arc, the arcs between a pair multiplexed as that
+//    edge's "lanes" in arc-id order — is the immutable DiTopology
+//    (sim/topology.hpp), planned once per digraph shape. Each arc carries an
+//    independent forward (tail→head) and backward (head→tail) sub-channel
+//    per round; a single-lane payload (the common case) goes on the wire
+//    unframed, so the audit sees exactly the solver's own bits; multi-lane
+//    messages are length-prefixed per lane.
 //
-//  * Lanes. The arcs between one node pair are the "lanes" of that support
-//    edge, ordered by arc id. Each arc carries an independent forward
-//    (tail→head) and backward (head→tail) sub-channel per round. A node's
-//    per-edge message is the concatenation of its lane payloads; with a
-//    single lane (the common case — no parallel or anti-parallel arcs
-//    between the pair) the payload goes on the wire unframed, so the audit
-//    sees exactly the solver's own bits. Multi-lane messages are
-//    length-prefixed per lane.
+//  * Run state. This class holds only the support SyncNetwork's run state
+//    and the per-arc packing scratch. It is constructible from a cached
+//    DiTopology, resettable in O(shards), and rebindable in place to a new
+//    arc set on the same (or a different) node set — NetworkPool leases do
+//    this so per-phase token-dropping games reuse one arena instead of
+//    rebuilding buffers, slabs, and thread pools per phase.
 //
 //  * Arc-indexed node programs. A node program addresses channels by its
 //    digraph incidence lists: it sends along its j-th out-arc / against its
@@ -38,6 +40,7 @@
 
 #include "graph/digraph.hpp"
 #include "sim/network.hpp"
+#include "sim/topology.hpp"
 
 namespace dec {
 
@@ -105,8 +108,28 @@ class DiNetwork {
   /// of a Message so single-lane sends never spill.
   static constexpr std::size_t kMaxArcFields = Message::kInlineFields;
 
+  /// Plan-and-run convenience: plans a fresh DiTopology for `dg`.
   explicit DiNetwork(const Digraph& dg, RoundLedger* ledger = nullptr,
                      std::string component = "dinetwork", int num_threads = 1);
+
+  /// Build run state on an existing (typically cached) plan. `topo` must fit
+  /// `dg` (see DiTopology::matches).
+  DiNetwork(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
+            RoundLedger* ledger = nullptr, std::string component = "dinetwork");
+
+  /// O(num_shards) return to the just-constructed state (epoch-based; see
+  /// SyncNetwork::reset). The no-arg form keeps the current ledger binding;
+  /// the two-arg form re-points the charge line (same split as SyncNetwork,
+  /// so reusing a DiNetwork can never silently detach its ledger).
+  void reset();
+  void reset(RoundLedger* ledger, std::string component = "dinetwork");
+
+  /// Re-target this run state at a different digraph/plan in place, reusing
+  /// support buffers, slabs, scratch, and thread pool (no allocation when
+  /// the new plan fits within what this state ever held). This is how one
+  /// pooled arena serves a fresh arc set every phase.
+  void rebind(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
+              RoundLedger* ledger = nullptr, std::string component = "dinetwork");
 
   /// Execute one synchronous round: `fn(v, inbox, outbox)` per node, then
   /// lane packing onto the support network's slots. Charges one round.
@@ -137,7 +160,8 @@ class DiNetwork {
   int num_threads() const { return net_.num_threads(); }
 
   // Lane-plane introspection (tests and tools).
-  const Graph& support() const { return support_; }
+  const Graph& support() const { return topo_->support(); }
+  const std::shared_ptr<const DiTopology>& topology() const { return topo_; }
   std::uint32_t lane(EdgeId arc) const {
     return ref_[static_cast<std::size_t>(arc)].lane;
   }
@@ -149,35 +173,21 @@ class DiNetwork {
   friend class DiInbox;
   friend class DiOutbox;
 
-  // Where arc `a` lives on the support slot plane: its lane within the
-  // support edge of its node pair, that edge's total lane count, and the
-  // edge's incidence index inside each endpoint's support adjacency.
-  struct ArcRef {
-    std::uint32_t lane;
-    std::uint32_t lane_count;
-    std::uint32_t tail_inc;
-    std::uint32_t head_inc;
-  };
-
-  static Graph build_support(const Digraph& dg);
-
+  void bind_plan();  // refresh cached views + size scratch for topo_
   void clear_scratch(NodeId v);
   void pack(NodeId v, Outbox& out);
   void send(std::size_t slot, std::initializer_list<std::int64_t> fields);
-  ArcView extract(const Message& m, const ArcRef& ref) const;
+  ArcView extract(const Message& m, const DiTopology::ArcRef& ref) const;
 
   const Digraph* dg_;
-  Graph support_;
+  std::shared_ptr<const DiTopology> topo_;
   SyncNetwork net_;
 
-  std::vector<ArcRef> ref_;  // per arc
-
-  // Per-incidence packing lists: incidence I = soff_[v] + i owns the scratch
-  // slots pack_[pack_off_[I] .. pack_off_[I+1]), in lane order. A forward
-  // sub-channel's slot is its arc id, a backward one's is num_arcs + arc id.
-  std::vector<std::size_t> soff_;
-  std::vector<std::size_t> pack_off_;
-  std::vector<std::uint32_t> pack_;
+  // Hot-path views into *topo_ (refreshed by bind_plan).
+  const DiTopology::ArcRef* ref_ = nullptr;
+  const std::size_t* soff_ = nullptr;
+  const std::size_t* pack_off_ = nullptr;
+  const std::uint32_t* pack_list_ = nullptr;
 
   // Per-arc-sub-channel scratch payloads (2 * num_arcs slots). A slot is
   // written only by its owning node's program, cleared at the start of that
@@ -189,7 +199,7 @@ class DiNetwork {
 inline ArcView DiInbox::along(std::size_t j) const {
   const auto in_arcs = net_->dg_->in(v_);
   DEC_REQUIRE(j < in_arcs.size(), "in-arc index out of range");
-  const DiNetwork::ArcRef& ref =
+  const DiTopology::ArcRef& ref =
       net_->ref_[static_cast<std::size_t>(in_arcs[j].edge)];
   return net_->extract((*in_)[ref.head_inc], ref);
 }
@@ -197,7 +207,7 @@ inline ArcView DiInbox::along(std::size_t j) const {
 inline ArcView DiInbox::against(std::size_t j) const {
   const auto out_arcs = net_->dg_->out(v_);
   DEC_REQUIRE(j < out_arcs.size(), "out-arc index out of range");
-  const DiNetwork::ArcRef& ref =
+  const DiTopology::ArcRef& ref =
       net_->ref_[static_cast<std::size_t>(out_arcs[j].edge)];
   return net_->extract((*in_)[ref.tail_inc], ref);
 }

@@ -8,74 +8,62 @@ namespace dec {
 
 SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
                          std::string component, int num_threads)
-    : g_(&g), ledger_(ledger), num_threads_(num_threads) {
+    : SyncNetwork(g, NetworkTopology::plan(g, num_threads), ledger,
+                  std::move(component)) {}
+
+SyncNetwork::SyncNetwork(const Graph& g,
+                         std::shared_ptr<const NetworkTopology> topo,
+                         RoundLedger* ledger, std::string component)
+    : g_(&g), topo_(std::move(topo)) {
+  DEC_REQUIRE(topo_ != nullptr, "null topology");
+  DEC_REQUIRE(topo_->matches(g), "topology does not fit the graph");
+  bind_ledger(ledger, std::move(component));
+  bind_plan();
+}
+
+void SyncNetwork::bind_ledger(RoundLedger* ledger, std::string component) {
+  ledger_ = ledger;
+  counter_.reset();
   if (ledger_ != nullptr) {
     counter_.emplace(ledger_->counter(std::move(component)));
   }
-  DEC_REQUIRE(num_threads_ >= 1, "num_threads must be >= 1");
-  offsets_.assign(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    offsets_[static_cast<std::size_t>(v) + 1] =
-        offsets_[static_cast<std::size_t>(v)] + g.neighbors(v).size();
-  }
-  const std::size_t slots = offsets_.back();
-  // Slot indices are stored as uint32 (peer permutation, touched lists);
-  // int32 edge ids keep 2m below 2^32, but guard against silent wrap if
-  // that ever changes.
-  DEC_REQUIRE(slots <= static_cast<std::size_t>(UINT32_MAX) - 1,
-              "slot plane too large for 32-bit slot indices");
-  buf_a_.assign(slots, Message{});
-  buf_b_.assign(slots, Message{});
+}
+
+// Fit the run state to topo_: size both buffer planes, size the shard set,
+// and bind every slot's spill target to its shard's slab. Reuses existing
+// vector capacity — a pooled network that has seen a larger plan allocates
+// nothing here. Stale messages keep their old epoch tags (always below any
+// future read epoch, so they read as empty) and may hold dangling slab
+// pointers; the lazy outbox reset (reset_storage on first touch) drops those
+// before any use, exactly as it does across ordinary rounds.
+void SyncNetwork::bind_plan() {
+  offsets_ = topo_->offsets().data();
+  peer_slot_ = topo_->peer_slot().data();
+  shard_begin_ = topo_->shard_begin().data();
+
+  const std::size_t slots = topo_->num_slots();
+  buf_a_.resize(slots);
+  buf_b_.resize(slots);
   out_ = buf_a_.data();
   in_ = buf_b_.data();
+  out_is_a_ = true;
 
-  // Where does the message written at slot (v, i) arrive? At the slot of the
-  // same edge in the neighbor's adjacency. Pair up the two slots per edge.
-  peer_slot_.assign(slots, 0);
-  std::vector<std::uint32_t> first_slot_of_edge(
-      static_cast<std::size_t>(g.num_edges()),
-      static_cast<std::uint32_t>(-1));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto nb = g.neighbors(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      const std::uint32_t slot =
-          static_cast<std::uint32_t>(offsets_[static_cast<std::size_t>(v)] + i);
-      auto& first = first_slot_of_edge[static_cast<std::size_t>(nb[i].edge)];
-      if (first == static_cast<std::uint32_t>(-1)) {
-        first = slot;
-      } else {
-        peer_slot_[slot] = first;
-        peer_slot_[first] = slot;
-      }
-    }
+  const int num_shards = topo_->num_shards();
+  if (static_cast<int>(shards_.size()) != num_shards) {
+    shards_.resize(static_cast<std::size_t>(num_shards));
   }
-
-  // Shard nodes into contiguous ranges balanced by slot count, and bind each
-  // buffer's slots in a shard to that shard's per-buffer slab so spills stay
-  // thread-local and arena-backed.
-  num_threads_ = std::max(1, std::min<int>(num_threads_, g.num_nodes() + 1));
-  shards_.resize(static_cast<std::size_t>(num_threads_));
-  shard_begin_.assign(static_cast<std::size_t>(num_threads_) + 1,
-                      g.num_nodes());
-  shard_begin_[0] = 0;
-  {
-    NodeId v = 0;
-    for (int s = 0; s < num_threads_; ++s) {
-      shard_begin_[static_cast<std::size_t>(s)] = v;
-      const std::size_t target =
-          (slots * (static_cast<std::size_t>(s) + 1)) /
-          static_cast<std::size_t>(num_threads_);
-      while (v < g.num_nodes() &&
-             offsets_[static_cast<std::size_t>(v)] < target) {
-        ++v;
-      }
-    }
-    shard_begin_.back() = g.num_nodes();
+  // The thread pool only ever grows: a rebind to a plan with fewer shards
+  // (e.g. a tiny per-phase game clamped to n + 1) keeps the existing
+  // workers parked and dispatches fewer shard tasks, instead of tearing OS
+  // threads down and respawning them on the next large plan — respawn churn
+  // is exactly the construction cost the arena exists to amortize.
+  if (num_shards > 1 &&
+      (pool_ == nullptr || pool_->num_threads() < num_shards)) {
+    pool_ = std::make_unique<ThreadPool>(num_shards);
   }
-  for (int s = 0; s < num_threads_; ++s) {
+  for (int s = 0; s < num_shards; ++s) {
     Shard& sh = shards_[static_cast<std::size_t>(s)];
-    const std::size_t lo =
-        offsets_[static_cast<std::size_t>(shard_begin_[s])];
+    const std::size_t lo = offsets_[static_cast<std::size_t>(shard_begin_[s])];
     const std::size_t hi =
         offsets_[static_cast<std::size_t>(shard_begin_[s + 1])];
     for (std::size_t slot = lo; slot < hi; ++slot) {
@@ -83,9 +71,43 @@ SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
       buf_b_[slot].bind_slab(&sh.slab_b);
     }
   }
-  if (num_threads_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  reset();
+}
+
+void SyncNetwork::reset() {
+  // One bump strands every tag either plane can carry: the last finished
+  // round wrote epoch E (now sitting in the inbox plane), the next round
+  // will read epoch E + 1 and write E + 2. Epochs never rewind (see the
+  // header), so slots from any earlier run stay unreadable forever.
+  ++epoch_;
+  rounds_ = 0;
+  audit_.reset();
+  for (Shard& sh : shards_) {
+    sh.slab_a.reset();
+    sh.slab_b.reset();
+    sh.touched.clear();
+    sh.audit.reset();
   }
+}
+
+void SyncNetwork::reset(RoundLedger* ledger, std::string component) {
+  bind_ledger(ledger, std::move(component));
+  reset();
+}
+
+void SyncNetwork::rebind(const Graph& g,
+                         std::shared_ptr<const NetworkTopology> topo,
+                         RoundLedger* ledger, std::string component) {
+  DEC_REQUIRE(topo != nullptr, "null topology");
+  DEC_REQUIRE(topo->matches(g), "topology does not fit the graph");
+  g_ = &g;
+  bind_ledger(ledger, std::move(component));
+  if (topo.get() == topo_.get()) {
+    reset();  // same plan: nothing to re-fit
+    return;
+  }
+  topo_ = std::move(topo);
+  bind_plan();
 }
 
 void SyncNetwork::begin_round() {
@@ -135,8 +157,6 @@ ParallelSyncNetwork::ParallelSyncNetwork(const Graph& g, RoundLedger* ledger,
                                          std::string component,
                                          int num_threads)
     : SyncNetwork(g, ledger, std::move(component),
-                  num_threads > 0
-                      ? num_threads
-                      : std::max(1u, std::thread::hardware_concurrency())) {}
+                  resolve_num_threads(num_threads)) {}
 
 }  // namespace dec

@@ -7,56 +7,23 @@
 // state, so execution order within a round is unobservable and the engine is
 // free to run nodes serially (id order) or sharded across threads.
 //
-// Substrate architecture (the round hot path is allocation-free):
+// The substrate splits into two layers (full architecture notes, including
+// the slot plane, epoch tagging, swap delivery, and the parallel round
+// engine, live in docs/ARCHITECTURE.md):
 //
-//  * Flat slot plane. Message slots live in two flat arrays of 2m
-//    small-buffer-optimized Messages, indexed CSR-style: slot offsets_[v]+i
-//    belongs to incidence i of node v. Payloads up to
-//    Message::kInlineFields stay inline; wider payloads spill into a
-//    per-shard MessageSlab arena (never the general heap), which is bulk
-//    reset at the round boundary. Each buffer generation owns its own slab
-//    set so spilled inbox payloads survive while the outbox refills.
+//  * Plan: an immutable NetworkTopology (sim/topology.hpp) — CSR slot
+//    offsets, peer-slot permutation, shard partition — planned once per
+//    graph shape and shared by shared_ptr.
 //
-//  * Epoch-tagged validity, no clear sweeps. Every slot carries an epoch
-//    tag. A round bumps the network epoch; an outbox slot is lazily reset
-//    the first time the node program touches it (Outbox::operator[]), and an
-//    inbox slot is live only if its tag equals the epoch it was written in
-//    (Inbox::operator[] returns kEmptyMessage otherwise). Nothing ever
-//    iterates all 2m slots to clear them.
+//  * Run state: this class — the two message buffer planes, slab arenas,
+//    epoch counter, round count, audit, and thread pool. Constructible from
+//    a cached plan, O(1)-resettable (reset()) and rebindable to a new graph
+//    (rebind()) without replanning; NetworkPool (sim/pool.hpp) arenas both.
 //
-//  * Swap delivery. The outbox slot of (v, i) and the inbox slot it must
-//    arrive at are the two fixed slots of one edge, related by the
-//    precomputed peer_slot_ permutation. Inbox views read through that
-//    permutation, so delivery is a single buffer-pointer swap — no per-slot
-//    moves.
-//
-//  * Parallel round engine. With num_threads > 1 (see ParallelSyncNetwork),
-//    nodes are sharded into contiguous ranges balanced by slot count and run
-//    on a persistent ThreadPool. A node program only writes its own node's
-//    outbox slots and only reads the shared last-round inbox, so shards are
-//    data-race-free by construction. Each shard audits the slots it touched
-//    into a private CongestAudit; shard accumulators merge at the round
-//    barrier with order-independent ops (max / sum), so audits and results
-//    are bit-identical to the serial engine.
-//
-//  * round_fast<F>. Solver inner loops call the templated round to keep the
-//    node program a direct (inlinable) call; the std::function round() is a
-//    thin wrapper kept for convenience and type-erased contexts.
-//
-//  * drain_fast<F>. Pipelined protocols whose last round still has messages
-//    in flight (the reply to round T is read in round T+1's program) finish
-//    with a drain: a read-only visit of the delivered inboxes that sends
-//    nothing, bumps no epoch, and charges no round — receiving and local
-//    post-processing are free in the LOCAL/CONGEST model, only sending
-//    rounds count.
-//
-//  * Directed adapter. Solvers on a Digraph (token dropping, orientation)
-//    run on DiNetwork (sim/dinetwork.hpp): arc-indexed sub-channels
-//    multiplexed as "lanes" onto the slots of an undirected support
-//    SyncNetwork, one slot pair per node pair with at least one arc. Each
-//    arc gets an independent forward (tail→head) and backward (head→tail)
-//    channel per round; the common single-arc-per-pair case costs zero
-//    framing overhead on the wire.
+// The round hot path is allocation-free: messages are small-buffer-optimized
+// (spill to a per-shard MessageSlab), slot validity is epoch-tagged (no
+// clear sweeps), and delivery is a buffer-pointer swap through the peer
+// permutation. Serial and sharded execution are bit-identical.
 #pragma once
 
 #include <functional>
@@ -71,6 +38,7 @@
 #include "sim/message.hpp"
 #include "sim/slab.hpp"
 #include "sim/thread_pool.hpp"
+#include "sim/topology.hpp"
 
 namespace dec {
 
@@ -174,11 +142,36 @@ class Outbox {
 
 class SyncNetwork {
  public:
-  /// `component` names the ledger line that rounds are charged to; `ledger`
-  /// may be null (rounds still counted locally). `num_threads` > 1 enables
-  /// the parallel round engine (see ParallelSyncNetwork).
+  /// Plan-and-run convenience: plans a fresh topology for `g`. `component`
+  /// names the ledger line that rounds are charged to; `ledger` may be null
+  /// (rounds still counted locally). `num_threads` > 1 enables the parallel
+  /// round engine (see ParallelSyncNetwork).
   explicit SyncNetwork(const Graph& g, RoundLedger* ledger = nullptr,
                        std::string component = "network", int num_threads = 1);
+
+  /// Build run state on an existing (typically cached) plan. `topo` must fit
+  /// `g` (same shape — see NetworkTopology::matches); the shard count is the
+  /// plan's.
+  SyncNetwork(const Graph& g, std::shared_ptr<const NetworkTopology> topo,
+              RoundLedger* ledger = nullptr, std::string component = "network");
+
+  /// Return to the just-constructed state in O(num_shards): one epoch bump
+  /// invalidates every slot of both buffer planes (including the last
+  /// delivered inbox), slabs rewind, rounds/audit clear. No slot sweeps, no
+  /// replanning, no allocation.
+  void reset();
+
+  /// reset() plus re-pointing the ledger charge line (pooled networks are
+  /// reused across solvers with different ledgers/components).
+  void reset(RoundLedger* ledger, std::string component);
+
+  /// Re-target this run state at a different graph/plan, reusing buffer and
+  /// shard storage (no allocation when the new plan needs no more slots or
+  /// shards than this state ever had). O(num_slots) when the plan changes —
+  /// slab bindings follow the new shard partition — and O(num_shards) when
+  /// `topo` is the plan already bound (degenerates to reset()).
+  void rebind(const Graph& g, std::shared_ptr<const NetworkTopology> topo,
+              RoundLedger* ledger = nullptr, std::string component = "network");
 
   /// Node program for one round: read `inbox`, fill `outbox` (both sized
   /// degree(v); outbox slots read as empty until written).
@@ -196,8 +189,13 @@ class SyncNetwork {
   void round_fast(F&& fn) {
     begin_round();
     try {
-      if (pool_ != nullptr) {
-        pool_->run([&](int shard) { run_shard(fn, shard); });
+      // The retained pool may carry more workers than the current plan has
+      // shards (it only ever grows across rebinds); surplus workers no-op.
+      const int num_shards = topo_->num_shards();
+      if (pool_ != nullptr && num_shards > 1) {
+        pool_->run([&](int shard) {
+          if (shard < num_shards) run_shard(fn, shard);
+        });
       } else {
         run_shard(fn, 0);
       }
@@ -222,26 +220,33 @@ class SyncNetwork {
            ++v) {
         const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
         const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
-        const Inbox in(in_, peer_slot_.data() + lo, deg, epoch_);
+        const Inbox in(in_, peer_slot_ + lo, deg, epoch_);
         fn(v, in);
       }
     };
-    if (pool_ != nullptr) {
-      pool_->run(visit);
+    const int num_shards = topo_->num_shards();
+    if (pool_ != nullptr && num_shards > 1) {
+      pool_->run([&](int shard) {
+        if (shard < num_shards) visit(shard);
+      });
     } else {
       visit(0);
     }
   }
 
-  /// Rounds executed so far on this network.
+  /// Rounds executed so far on this network (since construction or the last
+  /// reset()/rebind()).
   std::int64_t rounds_executed() const { return rounds_; }
 
   const CongestAudit& audit() const { return audit_; }
   const Graph& graph() const { return *g_; }
-  int num_threads() const { return num_threads_; }
+  const std::shared_ptr<const NetworkTopology>& topology() const {
+    return topo_;
+  }
+  int num_threads() const { return topo_->num_shards(); }
 
   // Slot-plane introspection (tests and tools).
-  std::size_t num_slots() const { return peer_slot_.size(); }
+  std::size_t num_slots() const { return topo_->num_slots(); }
   std::size_t slot(NodeId v, std::size_t i) const {
     return offsets_[static_cast<std::size_t>(v)] + i;
   }
@@ -251,6 +256,8 @@ class SyncNetwork {
   void begin_round();
   void finish_round();
   void abort_round();
+  void bind_ledger(RoundLedger* ledger, std::string component);
+  void bind_plan();  // (re)size buffers/shards + slab bindings for topo_
 
   template <class F>
   void run_shard(F& fn, int shard) {
@@ -262,7 +269,7 @@ class SyncNetwork {
          ++v) {
       const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
       const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
-      const Inbox in(in_, peer_slot_.data() + lo, deg, read_epoch);
+      const Inbox in(in_, peer_slot_ + lo, deg, read_epoch);
       Outbox out(out_ + lo, deg, write_epoch,
                  static_cast<std::uint32_t>(lo), &sh.touched);
       fn(v, in, out);
@@ -279,22 +286,29 @@ class SyncNetwork {
   };
 
   const Graph* g_;
-  RoundLedger* ledger_;
+  std::shared_ptr<const NetworkTopology> topo_;
+  // Hot-path views into *topo_ (refreshed by bind_plan).
+  const std::size_t* offsets_ = nullptr;
+  const std::uint32_t* peer_slot_ = nullptr;
+  const NodeId* shard_begin_ = nullptr;
+
+  RoundLedger* ledger_ = nullptr;
   std::optional<RoundLedger::Counter> counter_;  // cached ledger slot
   std::int64_t rounds_ = 0;
   CongestAudit audit_;
-  std::uint32_t epoch_ = 0;  // write epoch of the round in progress
+  // Write epoch of the round in progress. Monotonic across reset()/rebind()
+  // (never rewound past construction), so stale slot tags from earlier runs
+  // can never equal a future read epoch. uint32 wrap would take 4G rounds on
+  // one run state; regarded as unreachable.
+  std::uint32_t epoch_ = 0;
 
-  // CSR-slot plane: slot = offsets_[v] + i for incidence i of v.
-  std::vector<std::size_t> offsets_;
-  std::vector<std::uint32_t> peer_slot_;  // where slot (v,i)'s message lands
   std::vector<Message> buf_a_, buf_b_;
   Message* in_ = nullptr;   // delivered messages of the previous round
   Message* out_ = nullptr;  // slots being written this round
   bool out_is_a_ = true;
 
-  int num_threads_;
-  std::vector<NodeId> shard_begin_;  // num_threads_ + 1 node boundaries
+  // Resizing may move Shards (and their slabs); bind_plan re-binds every
+  // slot's slab pointer afterwards, so no Message ever holds a stale slab.
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pool_;  // null in serial mode
 };

@@ -1,0 +1,142 @@
+#include "sim/pool.hpp"
+
+namespace dec {
+
+namespace {
+
+/// FNV-1a over the shape: node count then endpoint pairs. A hit is verified
+/// against the stored edge list, so the hash only has to be selective, not
+/// collision-free.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= kPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+
+template <class ShapeView>
+std::uint64_t shape_fingerprint(NodeId n, const ShapeView& pairs) {
+  std::uint64_t h = fnv1a(kFnvBasis, static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto [a, b] = pairs[i];
+    h = fnv1a(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                  << 32) |
+                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(b)));
+  }
+  return h;
+}
+
+/// Shape views over the two graph kinds: pair access without materializing
+/// a list (the Digraph stores arcs CSR-side, not as one vector).
+struct EdgeListView {
+  const std::vector<std::pair<NodeId, NodeId>>& edges;
+  std::size_t size() const { return edges.size(); }
+  std::pair<NodeId, NodeId> operator[](std::size_t i) const {
+    return edges[i];
+  }
+};
+
+struct ArcListView {
+  const Digraph& dg;
+  std::size_t size() const {
+    return static_cast<std::size_t>(dg.num_arcs());
+  }
+  std::pair<NodeId, NodeId> operator[](std::size_t i) const {
+    return dg.arc(static_cast<EdgeId>(i));
+  }
+};
+
+template <class ShapeView>
+bool shape_equals(const std::vector<std::pair<NodeId, NodeId>>& stored,
+                  const ShapeView& shape) {
+  if (stored.size() != shape.size()) return false;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    if (stored[i] != shape[i]) return false;
+  }
+  return true;
+}
+
+template <class ShapeView>
+std::vector<std::pair<NodeId, NodeId>> materialize(const ShapeView& shape) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(shape.size());
+  for (std::size_t i = 0; i < shape.size(); ++i) out.push_back(shape[i]);
+  return out;
+}
+
+}  // namespace
+
+NetworkPool::NetworkPool(int num_threads)
+    : num_threads_(resolve_num_threads(num_threads)) {}
+
+template <class Topo, class ShapeView, class PlanFn>
+std::shared_ptr<const Topo> NetworkPool::find_or_plan(
+    std::vector<TopoEntry<Topo>>& cache, NodeId n, const ShapeView& shape,
+    PlanFn&& plan) {
+  const std::uint64_t fp = shape_fingerprint(n, shape);
+  for (const TopoEntry<Topo>& e : cache) {
+    if (e.fingerprint == fp && e.n == n && shape_equals(e.shape, shape)) {
+      ++hits_;
+      return e.topo;
+    }
+  }
+  ++misses_;
+  std::shared_ptr<const Topo> topo = plan();
+  if (cache.size() >= kMaxCachedTopologies) cache.erase(cache.begin());
+  cache.push_back({fp, materialize(shape), n, topo});
+  return topo;
+}
+
+std::shared_ptr<const NetworkTopology> NetworkPool::topology(const Graph& g) {
+  return find_or_plan(net_topos_, g.num_nodes(), EdgeListView{g.edge_list()},
+                      [&] { return NetworkTopology::plan(g, num_threads_); });
+}
+
+std::shared_ptr<const DiTopology> NetworkPool::topology(const Digraph& dg) {
+  return find_or_plan(di_topos_, dg.num_nodes(), ArcListView{dg},
+                      [&] { return DiTopology::plan(dg, num_threads_); });
+}
+
+template <class Net, class G, class Topo>
+NetworkPool::Lease<Net> NetworkPool::acquire(std::vector<Slot<Net>>& slots,
+                                             const G& g,
+                                             std::shared_ptr<const Topo> topo,
+                                             RoundLedger* ledger,
+                                             std::string component) {
+  std::size_t idle = slots.size();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].busy) continue;
+    if (slots[i].net->topology().get() == topo.get()) {
+      idle = i;
+      break;
+    }
+    if (idle == slots.size()) idle = i;
+  }
+  if (idle == slots.size()) {
+    slots.push_back({std::make_unique<Net>(g, std::move(topo), ledger,
+                                           std::move(component)),
+                     true});
+    return Lease<Net>(this, idle, slots.back().net.get());
+  }
+  slots[idle].net->rebind(g, std::move(topo), ledger, std::move(component));
+  slots[idle].busy = true;
+  return Lease<Net>(this, idle, slots[idle].net.get());
+}
+
+NetworkPool::NetworkLease NetworkPool::network(const Graph& g,
+                                               RoundLedger* ledger,
+                                               std::string component) {
+  return acquire(nets_, g, topology(g), ledger, std::move(component));
+}
+
+NetworkPool::DiNetworkLease NetworkPool::dinetwork(const Digraph& dg,
+                                                   RoundLedger* ledger,
+                                                   std::string component) {
+  return acquire(dinets_, dg, topology(dg), ledger, std::move(component));
+}
+
+}  // namespace dec

@@ -1,0 +1,221 @@
+// NetworkPool: an arena of topology plans and network run states.
+//
+// Solvers that build many networks — one per phase game, one per recursion
+// level, one per pipeline stage — pay planning (CSR offsets, peer
+// permutation, shard partition, lane plan) and run-state allocation (message
+// planes, slabs, thread pool) for every single one. The pool amortizes both:
+//
+//  * Topology cache. plan() results are cached keyed by graph shape (node
+//    count, edge/arc count, 64-bit fingerprint of the edge list) and shared
+//    by shared_ptr. A fingerprint hit is verified against the full stored
+//    edge list before the plan is shared, so a hash collision can never pair
+//    a graph with the wrong plan — bit-identity is unconditional. Repeat
+//    shapes (e.g. the Linial and defective stages of congest coloring on the
+//    same graph, or a solver re-run on the same input) plan exactly once.
+//
+//  * Run-state arena. network()/dinetwork() lease a SyncNetwork/DiNetwork
+//    whose buffers, slabs, scratch, and thread pool are reused across
+//    leases: a returning shape degenerates to an O(shards) epoch reset, a
+//    new shape to an in-place rebind that reuses storage capacity. The RAII
+//    lease returns the run state to the pool on destruction.
+//
+// A leased network starts indistinguishable from a freshly constructed one
+// (epoch-gated slots, cleared rounds/audit/slabs), so pooled runs are
+// bit-identical to fresh-network runs — outputs, audited rounds, and ledger
+// breakdowns; tests/test_network_pool.cpp pins this for all solvers.
+//
+// Lifetime rules: a lease must not outlive its pool; the graph passed to
+// network()/dinetwork() must outlive the lease (the run state references
+// it); the pool itself may outlive every graph it has seen (topologies hold
+// no graph pointers). The pool is not thread-safe — one pool per solver
+// invocation; the *networks* it hands out still run their own parallel round
+// engine with the pool's shard count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/dinetwork.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace dec {
+
+class NetworkPool {
+ public:
+  /// All leased networks run with `num_threads` shards (0 picks hardware
+  /// concurrency, like ParallelSyncNetwork).
+  explicit NetworkPool(int num_threads = 1);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Plan-or-fetch the topology for a graph shape.
+  std::shared_ptr<const NetworkTopology> topology(const Graph& g);
+  std::shared_ptr<const DiTopology> topology(const Digraph& dg);
+
+  /// RAII lease of a pooled run state; releases back to the pool on
+  /// destruction. Move-only.
+  template <class Net>
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept { *this = std::move(o); }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = o.pool_;
+        index_ = o.index_;
+        net_ = o.net_;
+        o.pool_ = nullptr;
+        o.net_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    Net& operator*() const { return *net_; }
+    Net* operator->() const { return net_; }
+    explicit operator bool() const { return net_ != nullptr; }
+
+   private:
+    friend class NetworkPool;
+    Lease(NetworkPool* pool, std::size_t index, Net* net)
+        : pool_(pool), index_(index), net_(net) {}
+    void release() {
+      if (pool_ != nullptr && net_ != nullptr) {
+        pool_->release_slot(net_, index_);
+      }
+      pool_ = nullptr;
+      net_ = nullptr;
+    }
+
+    NetworkPool* pool_ = nullptr;
+    std::size_t index_ = 0;
+    Net* net_ = nullptr;
+  };
+  using NetworkLease = Lease<SyncNetwork>;
+  using DiNetworkLease = Lease<DiNetwork>;
+
+  /// Lease a run state bound to `g` (topology cached-or-planned), reset and
+  /// charging rounds to `ledger` under `component`.
+  NetworkLease network(const Graph& g, RoundLedger* ledger = nullptr,
+                       std::string component = "network");
+  DiNetworkLease dinetwork(const Digraph& dg, RoundLedger* ledger = nullptr,
+                           std::string component = "dinetwork");
+
+  // Introspection (tests and stats).
+  std::int64_t topology_hits() const { return hits_; }
+  std::int64_t topology_misses() const { return misses_; }
+  std::size_t cached_topologies() const {
+    return net_topos_.size() + di_topos_.size();
+  }
+  std::size_t run_states() const { return nets_.size() + dinets_.size(); }
+
+ private:
+  /// Cached plans above this are evicted FIFO; per-phase game shapes rarely
+  /// repeat, so an unbounded cache would grow by one plan per phase.
+  static constexpr std::size_t kMaxCachedTopologies = 64;
+
+  /// One cached plan: the shape fingerprint plus the full endpoint-pair
+  /// list (edge list / arc list), re-verified on every fingerprint hit.
+  template <class Topo>
+  struct TopoEntry {
+    std::uint64_t fingerprint;
+    std::vector<std::pair<NodeId, NodeId>> shape;
+    NodeId n;
+    std::shared_ptr<const Topo> topo;
+  };
+  template <class Net>
+  struct Slot {
+    std::unique_ptr<Net> net;
+    bool busy = false;
+  };
+
+  /// Shared fingerprint-then-verify cache lookup (defined in pool.cpp; both
+  /// instantiations live there). `shape` is a lightweight view (size() +
+  /// operator[] yielding endpoint pairs) over the graph's edge list or the
+  /// digraph's arcs; it is materialized into the cache only on a miss — the
+  /// hit path (the common case) allocates nothing.
+  template <class Topo, class ShapeView, class PlanFn>
+  std::shared_ptr<const Topo> find_or_plan(std::vector<TopoEntry<Topo>>& cache,
+                                           NodeId n, const ShapeView& shape,
+                                           PlanFn&& plan);
+
+  /// Shared lease selection: prefer an idle run state on this exact plan
+  /// (O(shards) reset), else any idle one (in-place rebind), else grow.
+  template <class Net, class G, class Topo>
+  Lease<Net> acquire(std::vector<Slot<Net>>& slots, const G& g,
+                     std::shared_ptr<const Topo> topo, RoundLedger* ledger,
+                     std::string component);
+
+  void release_slot(SyncNetwork*, std::size_t index) {
+    nets_[index].busy = false;
+  }
+  void release_slot(DiNetwork*, std::size_t index) {
+    dinets_[index].busy = false;
+  }
+
+  int num_threads_;
+  std::vector<TopoEntry<NetworkTopology>> net_topos_;
+  std::vector<TopoEntry<DiTopology>> di_topos_;
+  std::vector<Slot<SyncNetwork>> nets_;
+  std::vector<Slot<DiNetwork>> dinets_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+/// Lease-or-construct: solvers take an optional NetworkPool* and fall back
+/// to a locally owned network when none is given (identical behavior either
+/// way — pooling is a pure reuse optimization). num_threads follows the
+/// library-wide 0-means-hardware convention (resolved here, so solver entry
+/// points need not). A supplied pool must carry the same resolved shard
+/// count the solver was asked for: leased networks run with the pool's
+/// count, and silently overriding an explicit num_threads would break the
+/// solvers' documented engine contract, so a mismatch is an error instead.
+class ScopedNetwork {
+ public:
+  ScopedNetwork(NetworkPool* pool, const Graph& g, RoundLedger* ledger,
+                std::string component, int num_threads) {
+    num_threads = resolve_num_threads(num_threads);
+    if (pool != nullptr) {
+      DEC_REQUIRE(pool->num_threads() == num_threads,
+                  "pool shard count must match the solver's num_threads");
+      lease_ = pool->network(g, ledger, std::move(component));
+    } else {
+      local_.emplace(g, ledger, std::move(component), num_threads);
+    }
+  }
+  SyncNetwork& operator*() { return lease_ ? *lease_ : *local_; }
+  SyncNetwork* operator->() { return &**this; }
+
+ private:
+  NetworkPool::NetworkLease lease_;
+  std::optional<SyncNetwork> local_;
+};
+
+class ScopedDiNetwork {
+ public:
+  ScopedDiNetwork(NetworkPool* pool, const Digraph& dg, RoundLedger* ledger,
+                  std::string component, int num_threads) {
+    num_threads = resolve_num_threads(num_threads);
+    if (pool != nullptr) {
+      DEC_REQUIRE(pool->num_threads() == num_threads,
+                  "pool shard count must match the solver's num_threads");
+      lease_ = pool->dinetwork(dg, ledger, std::move(component));
+    } else {
+      local_.emplace(dg, ledger, std::move(component), num_threads);
+    }
+  }
+  DiNetwork& operator*() { return lease_ ? *lease_ : *local_; }
+  DiNetwork* operator->() { return &**this; }
+
+ private:
+  NetworkPool::DiNetworkLease lease_;
+  std::optional<DiNetwork> local_;
+};
+
+}  // namespace dec

@@ -8,6 +8,7 @@
 // calling thread (the library is exception-based, see util/check.hpp).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -17,6 +18,16 @@
 #include <vector>
 
 namespace dec {
+
+/// The library-wide "num_threads <= 0 means hardware concurrency"
+/// convention (ParallelSyncNetwork, NetworkPool, solvers documenting 0).
+/// Every site must resolve identically or the pool/solver shard-count
+/// equality contract (ScopedNetwork) breaks — hence one helper.
+inline int resolve_num_threads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  return static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+}
 
 class ThreadPool {
  public:
