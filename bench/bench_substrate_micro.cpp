@@ -11,7 +11,11 @@
 #include "graph/properties.hpp"
 #include "sim/network.hpp"
 #include "sim/pool.hpp"
+#include "sim/shared_pool.hpp"
 #include "sim/topology.hpp"
+
+#include <thread>
+#include <vector>
 
 namespace {
 
@@ -338,6 +342,55 @@ void BM_RandomRegularGenerator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomRegularGenerator)->Arg(1000)->Arg(10000);
+
+// Shared-arena contention: N tenant threads, each with its own NetworkPool
+// view over one SharedNetworkPool, lease-run-release in a tight loop.
+// range(0) = tenant threads; range(1) = 1 for all tenants on one shape
+// (every lookup after warmup rides the lock-free snapshot fast path and
+// run states ping-pong through one cache shard) vs 0 for per-tenant shapes
+// (lookups spread across shards, no run-state contention). Items = leases.
+void BM_SharedPoolContention(benchmark::State& state) {
+  const int tenants = static_cast<int>(state.range(0));
+  const bool same_shape = state.range(1) == 1;
+  std::vector<Graph> graphs;
+  graphs.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    Rng grng(same_shape ? 7u : 7u + static_cast<std::uint64_t>(t));
+    graphs.push_back(gen::random_regular(256, 8, grng));
+  }
+  constexpr int kLeasesPerTenant = 32;
+  SharedNetworkPool shared(1);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      threads.emplace_back([&shared, &graphs, t] {
+        NetworkPool view(shared);
+        for (int i = 0; i < kLeasesPerTenant; ++i) {
+          auto lease =
+              view.network(graphs[static_cast<std::size_t>(t)]);
+          lease->round_fast([](NodeId v, const Inbox&, Outbox& out) {
+            for (auto& m : out) m = Message{v};
+          });
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * tenants * kLeasesPerTenant);
+  const double lookups = static_cast<double>(shared.topology_hits() +
+                                             shared.topology_misses());
+  state.counters["plan_hit_rate"] =
+      lookups > 0 ? static_cast<double>(shared.topology_hits()) / lookups
+                  : 0.0;
+}
+BENCHMARK(BM_SharedPoolContention)
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 """Compare two google-benchmark JSON files and report per-benchmark deltas.
 
 Usage: compare_benches.py OLD.json NEW.json [--threshold PCT]
+       compare_benches.py --self-test
 
 For every benchmark present in both files, prints the real_time delta (and
 items_per_second when available) as a percentage of the old value. Rows whose
@@ -10,27 +11,42 @@ with `!! REGRESSION`. Benchmarks present in the baseline but missing from the
 new run are listed and counted as regressions too — a bench that silently
 stopped running is exactly the rot this report exists to catch.
 
+Repetitions of the same benchmark name are aggregated by MEDIAN, not mean:
+the shared 1-core CI box drifts ±10% run to run, and a single slow window in
+one repetition would otherwise masquerade as a regression (or mask one).
+Run benches with --benchmark_repetitions=N and the median does the rest.
+Google-benchmark's own aggregate rows (_mean/_median/_stddev/_cv) are
+skipped; only per-repetition rows feed the median.
+
 Exit codes: 0 = no flags, 1 = regressions/missing benchmarks found (count is
 printed), 125 = the tool itself failed (unreadable/malformed JSON, ...).
 run_benches.sh distinguishes the two non-zero cases so a tooling crash is
 never reported as a perf regression.
 
-Aggregate rows (_mean/_median/_stddev/_cv) are skipped; when a file contains
-repetitions, only the per-repetition rows of the same name are averaged.
+--self-test runs the built-in checks of the aggregation and flagging logic
+(median beats a planted outlier, aggregate-row skipping, missing-benchmark
+accounting) and exits 0 on success; CI invokes it so the delta tooling
+cannot rot silently either.
 """
 import argparse
+import io
 import json
+import statistics
 import sys
 
 
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load(path):
-    with open(path) as f:
-        data = json.load(f)
-    out = {}
-    counts = {}
+def parse(data):
+    """google-benchmark JSON dict -> {name: {real_time, items_per_second}}.
+
+    real_time is normalized to ns (deltas stay correct even if a benchmark's
+    reported time_unit differs between the two files); repetitions of one
+    name are aggregated by median, field-wise.
+    """
+    samples = {}
+    order = []
     for b in data.get("benchmarks", []):
         name = b.get("name", "")
         if b.get("run_type") == "aggregate" or name.rsplit("_", 1)[-1] in (
@@ -40,23 +56,27 @@ def load(path):
             "cv",
         ):
             continue
-        # Average repetitions of the same benchmark name. real_time is
-        # normalized to ns here so deltas stay correct even if a benchmark's
-        # reported time_unit differs between the two files.
-        prev = out.get(name)
         entry = {
             "real_time": float(b.get("real_time", 0.0))
             * NS_PER_UNIT.get(b.get("time_unit", "ns"), 1.0),
             "items_per_second": float(b.get("items_per_second", 0.0)),
         }
-        if prev is None:
-            out[name] = entry
-            counts[name] = 1
-        else:
-            n = counts[name] = counts[name] + 1
-            for k in ("real_time", "items_per_second"):
-                prev[k] += (entry[k] - prev[k]) / n
-    return out
+        if name not in samples:
+            samples[name] = []
+            order.append(name)
+        samples[name].append(entry)
+    return {
+        name: {
+            k: statistics.median(s[k] for s in samples[name])
+            for k in ("real_time", "items_per_second")
+        }
+        for name in order
+    }
+
+
+def load(path):
+    with open(path) as f:
+        return parse(json.load(f))
 
 
 def fmt_time(ns):
@@ -66,26 +86,18 @@ def fmt_time(ns):
     return f"{ns:.0f} ns"
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("old")
-    ap.add_argument("new")
-    ap.add_argument("--threshold", type=float, default=10.0,
-                    help="flag real_time regressions above this percent")
-    args = ap.parse_args()
-
-    old = load(args.old)
-    new = load(args.new)
+def report(old, new, threshold, out=sys.stdout, err=sys.stderr):
+    """Print the delta table; return the number of flagged regressions."""
     common = [n for n in new if n in old]
     regressions = 0
     if common:
         width = max(len(n) for n in common)
         print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  "
-              f"{'time Δ':>8}  {'items/s Δ':>9}")
+              f"{'time Δ':>8}  {'items/s Δ':>9}", file=out)
     else:
         # Still fall through: the missing-from-new accounting below must run
         # even (especially) when nothing survived into the new file.
-        print("no common benchmarks between the two files", file=sys.stderr)
+        print("no common benchmarks between the two files", file=err)
     for name in common:
         o, n = old[name], new[name]
         if o["real_time"] <= 0:
@@ -98,25 +110,98 @@ def main():
         else:
             ips = "        -"
         flag = ""
-        if dt > args.threshold:
+        if dt > threshold:
             flag = "  !! REGRESSION"
             regressions += 1
         print(f"{name:<{width}}  {fmt_time(o['real_time']):>10}  "
               f"{fmt_time(n['real_time']):>10}  {dt:+7.1f}%  "
-              f"{ips}{flag}")
+              f"{ips}{flag}", file=out)
     new_only = [n for n in new if n not in old]
     if new_only:
-        print(f"(new benchmarks, no baseline: {', '.join(new_only)})")
+        print(f"(new benchmarks, no baseline: {', '.join(new_only)})",
+              file=out)
     old_only = [n for n in old if n not in new]
     if old_only:
         print(f"!! MISSING from new run (present in baseline): "
-              f"{', '.join(old_only)}", file=sys.stderr)
+              f"{', '.join(old_only)}", file=err)
         regressions += len(old_only)
     if regressions:
         print(f"{regressions} benchmark(s) regressed more than "
-              f"{args.threshold:.0f}% in real time or went missing",
-              file=sys.stderr)
-    return 1 if regressions else 0
+              f"{threshold:.0f}% in real time or went missing", file=err)
+    return regressions
+
+
+def _bench(name, real_time, items=0.0, unit="ns", run_type="iteration"):
+    return {"name": name, "real_time": real_time, "time_unit": unit,
+            "items_per_second": items, "run_type": run_type}
+
+
+def self_test():
+    """Built-in checks of the aggregation and flagging logic."""
+    sink = io.StringIO()
+
+    # 1. Repetitions aggregate by median: one planted 5x-slow repetition
+    # must not move the verdict (the mean would report +134%).
+    base = parse({"benchmarks": [_bench("BM_X/10", 100.0)]})
+    noisy = parse({"benchmarks": [
+        _bench("BM_X/10", 100.0), _bench("BM_X/10", 102.0),
+        _bench("BM_X/10", 500.0),
+    ]})
+    assert noisy["BM_X/10"]["real_time"] == 102.0, noisy
+    assert report(base, noisy, 10.0, out=sink, err=sink) == 0
+
+    # ... and a genuine regression present in every repetition still flags.
+    slow = parse({"benchmarks": [
+        _bench("BM_X/10", 130.0), _bench("BM_X/10", 131.0),
+        _bench("BM_X/10", 132.0),
+    ]})
+    assert report(base, slow, 10.0, out=sink, err=sink) == 1
+
+    # 2. google-benchmark aggregate rows are skipped, whatever they claim.
+    agg = parse({"benchmarks": [
+        _bench("BM_X/10", 100.0),
+        _bench("BM_X/10_mean", 9999.0, run_type="aggregate"),
+        _bench("BM_X/10_median", 9999.0, run_type="aggregate"),
+    ]})
+    assert agg["BM_X/10"]["real_time"] == 100.0, agg
+
+    # 3. Time units normalize: 0.1 us == 100 ns, no flag.
+    us = parse({"benchmarks": [_bench("BM_X/10", 0.1, unit="us")]})
+    assert us["BM_X/10"]["real_time"] == 100.0, us
+    assert report(base, us, 10.0, out=sink, err=sink) == 0
+
+    # 4. A benchmark missing from the new run counts as a regression.
+    assert report(base, parse({"benchmarks": []}), 10.0,
+                  out=sink, err=sink) == 1
+
+    # 5. items_per_second medians ride along.
+    ips = parse({"benchmarks": [
+        _bench("BM_X/10", 100.0, items=1.0),
+        _bench("BM_X/10", 100.0, items=3.0),
+        _bench("BM_X/10", 100.0, items=90.0),
+    ]})
+    assert ips["BM_X/10"]["items_per_second"] == 3.0, ips
+
+    print("compare_benches.py self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old", nargs="?")
+    ap.add_argument("new", nargs="?")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag real_time regressions above this percent")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in aggregation/flagging checks")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.old is None or args.new is None:
+        ap.error("OLD.json and NEW.json are required unless --self-test")
+
+    return 1 if report(load(args.old), load(args.new), args.threshold) else 0
 
 
 if __name__ == "__main__":

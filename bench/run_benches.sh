@@ -9,6 +9,11 @@
 # $BENCH_REGRESSION_PCT (default 10%) flagged. The delta report is advisory
 # by default; set BENCH_FAIL_ON_REGRESSION=1 to exit non-zero on flags.
 #
+# The shared 1-core box drifts ±10% run to run; set BENCH_REPETITIONS=3 (or
+# more) to record every benchmark N times — the delta report aggregates
+# repetitions by median, which is what keeps one slow window from reading as
+# a regression.
+#
 # Usage: bench/run_benches.sh [build_dir] [out_dir]
 #   build_dir: CMake build tree containing the bench binaries (default: build)
 #   out_dir:   where BENCH_<name>_<stamp>.json files land (default: bench/results)
@@ -18,6 +23,7 @@ BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench/results}
 STAMP=$(date +%Y%m%d_%H%M%S)
 MIN_TIME=${BENCH_MIN_TIME:-2}
+REPETITIONS=${BENCH_REPETITIONS:-1}
 REGRESSION_PCT=${BENCH_REGRESSION_PCT:-10}
 FAIL_ON_REGRESSION=${BENCH_FAIL_ON_REGRESSION:-0}
 SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
@@ -40,6 +46,7 @@ for name in "${GBENCH_BINARIES[@]}"; do
   prev=$(ls -1 "$OUT_DIR"/BENCH_"${name}"_*.json 2>/dev/null | sort | tail -1 || true)
   echo "== $name -> $out"
   "$bin" --benchmark_min_time="$MIN_TIME" \
+         --benchmark_repetitions="$REPETITIONS" \
          --benchmark_format=console \
          --benchmark_out_format=json \
          --benchmark_out="$out"

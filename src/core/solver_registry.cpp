@@ -1,0 +1,138 @@
+#include "core/solver_registry.hpp"
+
+#include "sim/pool.hpp"
+#include "util/check.hpp"
+
+namespace dec {
+
+namespace {
+
+/// Pull the typed job out of the params variant, failing loudly when the
+/// variant does not match the solver id the request names.
+template <class Job>
+const Job& job_of(const SolverRequest& req) {
+  const Job* job = std::get_if<Job>(&req.params);
+  DEC_REQUIRE(job != nullptr,
+              "solver request params variant does not match its solver id");
+  return *job;
+}
+
+const Graph& graph_of(const SolverRequest& req) {
+  DEC_REQUIRE(req.graph != nullptr, "solver request carries no graph");
+  return *req.graph;
+}
+
+const Digraph& digraph_of(const SolverRequest& req) {
+  DEC_REQUIRE(req.digraph != nullptr, "solver request carries no digraph");
+  return *req.digraph;
+}
+
+SolverResult run_congest(const SolverRequest& req, int num_threads,
+                         NetworkPool* pool) {
+  const auto& job = job_of<CongestColoringJob>(req);
+  SolverResult out;
+  out.solver = req.solver;
+  out.output = congest_edge_coloring(graph_of(req), job.eps, job.mode,
+                                     &out.ledger, num_threads, pool);
+  return out;
+}
+
+SolverResult run_bipartite(const SolverRequest& req, int num_threads,
+                           NetworkPool* pool) {
+  const auto& job = job_of<BipartiteColoringJob>(req);
+  SolverResult out;
+  out.solver = req.solver;
+  out.output =
+      bipartite_edge_coloring(graph_of(req), job.parts, job.eps, job.mode,
+                              &out.ledger, num_threads, pool);
+  return out;
+}
+
+SolverResult run_orientation(const SolverRequest& req, int num_threads,
+                             NetworkPool* pool) {
+  const auto& job = job_of<BalancedOrientationJob>(req);
+  SolverResult out;
+  out.solver = req.solver;
+  out.output =
+      balanced_orientation(graph_of(req), job.parts, job.eta, job.params,
+                           &out.ledger, num_threads, pool);
+  return out;
+}
+
+SolverResult run_defective2ec(const SolverRequest& req, int num_threads,
+                              NetworkPool* pool) {
+  const auto& job = job_of<Defective2ECJob>(req);
+  SolverResult out;
+  out.solver = req.solver;
+  out.output = defective_2_edge_coloring(graph_of(req), job.parts, job.lambda,
+                                         job.eps, job.mode, &out.ledger,
+                                         num_threads, pool);
+  return out;
+}
+
+SolverResult run_token_dropping_job(const SolverRequest& req, int num_threads,
+                                    NetworkPool* pool) {
+  const auto& job = job_of<TokenDroppingJob>(req);
+  SolverResult out;
+  out.solver = req.solver;
+  out.output = run_token_dropping(digraph_of(req), job.initial_tokens,
+                                  job.params, &out.ledger, num_threads, pool);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<SolverEntry>& solver_registry() {
+  static const std::vector<SolverEntry> kRegistry = {
+      {"congest_edge_coloring", &run_congest},
+      {"bipartite_edge_coloring", &run_bipartite},
+      {"balanced_orientation", &run_orientation},
+      {"defective_2_edge_coloring", &run_defective2ec},
+      {"token_dropping", &run_token_dropping_job},
+  };
+  return kRegistry;
+}
+
+bool solver_registered(const std::string& id) {
+  for (const SolverEntry& e : solver_registry()) {
+    if (id == e.id) return true;
+  }
+  return false;
+}
+
+SolverResult execute_request(const SolverRequest& req, int num_threads,
+                             NetworkPool* pool) {
+  for (const SolverEntry& e : solver_registry()) {
+    if (req.solver == e.id) return e.execute(req, num_threads, pool);
+  }
+  DEC_REQUIRE(false, "unknown solver id: " + req.solver);
+  // Unreachable; DEC_REQUIRE(false, ...) always throws.
+  throw CheckError("unreachable");
+}
+
+SolverRequest make_congest_request(std::shared_ptr<const Graph> g,
+                                   CongestColoringJob job) {
+  return {"congest_edge_coloring", std::move(g), nullptr, std::move(job)};
+}
+
+SolverRequest make_bipartite_request(std::shared_ptr<const Graph> g,
+                                     BipartiteColoringJob job) {
+  return {"bipartite_edge_coloring", std::move(g), nullptr, std::move(job)};
+}
+
+SolverRequest make_orientation_request(std::shared_ptr<const Graph> g,
+                                       BalancedOrientationJob job) {
+  return {"balanced_orientation", std::move(g), nullptr, std::move(job)};
+}
+
+SolverRequest make_defective2ec_request(std::shared_ptr<const Graph> g,
+                                        Defective2ECJob job) {
+  return {"defective_2_edge_coloring", std::move(g), nullptr, std::move(job)};
+}
+
+SolverRequest make_token_dropping_request(std::shared_ptr<const Digraph> dg,
+                                          TokenDroppingJob job) {
+  return {"token_dropping", nullptr, std::move(dg), std::move(job)};
+}
+
+}  // namespace dec

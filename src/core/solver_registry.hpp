@@ -1,0 +1,137 @@
+// Solver registry: the five orchestrated solvers behind one data-driven
+// request/result interface.
+//
+// The solver entry points are free functions with heterogeneous signatures —
+// fine for direct callers, useless for a job queue. This file turns an
+// invocation into *data*: a SolverRequest names a solver by its string id,
+// carries the input graph (or digraph) by shared_ptr, and holds the solver's
+// parameters in a variant; execute_request() dispatches through the
+// registry and returns a SolverResult with the solver's full output struct
+// plus the per-job RoundLedger. The SolverService (service/solver_service.hpp)
+// queues exactly these requests.
+//
+// execute_request() is a pure forwarding layer: a request executed here —
+// with any NetworkPool, or none — is bit-identical (outputs, audited rounds,
+// ledger breakdowns) to calling the solver function directly, which is what
+// lets the service share one arena across tenants without changing any
+// result (pinned by tests/test_solver_service.cpp).
+//
+// Registered ids (see solver_registry()):
+//   congest_edge_coloring · bipartite_edge_coloring · balanced_orientation ·
+//   defective_2_edge_coloring · token_dropping
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/balanced_orientation.hpp"
+#include "core/bipartite_coloring.hpp"
+#include "core/congest_coloring.hpp"
+#include "core/defective2ec.hpp"
+#include "core/params.hpp"
+#include "core/token_dropping.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "sim/ledger.hpp"
+
+namespace dec {
+
+class NetworkPool;
+
+// Per-solver parameter payloads. Each holds everything the solver needs
+// beyond the input graph/digraph (side assignments, per-edge weights,
+// initial tokens, mode knobs).
+
+struct CongestColoringJob {
+  double eps = 1.0;
+  ParamMode mode = ParamMode::kPractical;
+};
+
+struct BipartiteColoringJob {
+  Bipartition parts;
+  double eps = 1.0;
+  ParamMode mode = ParamMode::kPractical;
+};
+
+struct BalancedOrientationJob {
+  Bipartition parts;
+  std::vector<double> eta;  // per edge
+  OrientationParams params;
+};
+
+struct Defective2ECJob {
+  Bipartition parts;
+  std::vector<double> lambda;  // per edge
+  double eps = 1.0;
+  ParamMode mode = ParamMode::kPractical;
+};
+
+struct TokenDroppingJob {
+  std::vector<int> initial_tokens;  // per node
+  TokenDroppingParams params;
+};
+
+using SolverParams =
+    std::variant<CongestColoringJob, BipartiteColoringJob,
+                 BalancedOrientationJob, Defective2ECJob, TokenDroppingJob>;
+
+/// One job as data. `graph` feeds the four graph solvers, `digraph` the
+/// token dropping game; the other pointer stays null. Inputs are carried by
+/// shared_ptr because a queued job outlives the submitting scope (and
+/// tenants submitting the same graph object share it instead of copying).
+struct SolverRequest {
+  std::string solver;  // registry id, e.g. "balanced_orientation"
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const Digraph> digraph;
+  SolverParams params;
+};
+
+using SolverOutput =
+    std::variant<CongestColoringResult, BipartiteColoringResult,
+                 BalancedOrientationResult, Defective2ECResult,
+                 TokenDroppingResult>;
+
+/// Full per-job result: the solver's own result struct plus the job's round
+/// ledger (per-component breakdown — part of the bit-identity contract).
+struct SolverResult {
+  std::string solver;
+  SolverOutput output;
+  RoundLedger ledger;
+};
+
+/// One registry row: the id and the type-erased executor.
+struct SolverEntry {
+  const char* id;
+  SolverResult (*execute)(const SolverRequest&, int num_threads,
+                          NetworkPool* pool);
+};
+
+/// All registered solvers, in registration order.
+const std::vector<SolverEntry>& solver_registry();
+
+/// True iff `id` names a registered solver.
+bool solver_registered(const std::string& id);
+
+/// Execute a request: look up `req.solver`, validate that the params
+/// variant and input pointer match it (DEC_REQUIRE), run the solver with
+/// `num_threads` round-engine shards leasing from `pool` (null = fresh
+/// networks). Bit-identical to the direct solver call.
+SolverResult execute_request(const SolverRequest& req, int num_threads = 1,
+                             NetworkPool* pool = nullptr);
+
+// Convenience builders (tenants usually have the typed inputs in hand).
+SolverRequest make_congest_request(std::shared_ptr<const Graph> g,
+                                   CongestColoringJob job);
+SolverRequest make_bipartite_request(std::shared_ptr<const Graph> g,
+                                     BipartiteColoringJob job);
+SolverRequest make_orientation_request(std::shared_ptr<const Graph> g,
+                                       BalancedOrientationJob job);
+SolverRequest make_defective2ec_request(std::shared_ptr<const Graph> g,
+                                        Defective2ECJob job);
+SolverRequest make_token_dropping_request(std::shared_ptr<const Digraph> dg,
+                                          TokenDroppingJob job);
+
+}  // namespace dec

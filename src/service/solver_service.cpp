@@ -1,0 +1,162 @@
+#include "service/solver_service.hpp"
+
+#include <optional>
+
+#include "sim/pool.hpp"
+#include "util/check.hpp"
+
+namespace dec {
+
+SolverService::SolverService(ServiceConfig cfg)
+    : cfg_(cfg), shared_pool_(cfg.engine_threads) {
+  DEC_REQUIRE(cfg_.workers >= 1, "service needs at least one worker");
+  DEC_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be positive");
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+bool SolverService::enqueue(Job job, bool blocking) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (blocking) {
+      cv_not_full_.wait(lock, [this] {
+        return stopping_ || queue_.size() < cfg_.queue_capacity;
+      });
+      DEC_REQUIRE(!stopping_, "submit after shutdown");
+    } else if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
+      return false;
+    }
+    job.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(job));
+    ++submitted_;
+  }
+  cv_not_empty_.notify_one();
+  return true;
+}
+
+std::future<SolverResult> SolverService::submit(SolverRequest req) {
+  DEC_REQUIRE(solver_registered(req.solver),
+              "submit: unknown solver id: " + req.solver);
+  Job job;
+  job.req = std::move(req);
+  std::future<SolverResult> fut = job.promise.get_future();
+  enqueue(std::move(job), /*blocking=*/true);
+  return fut;
+}
+
+bool SolverService::try_submit(SolverRequest req,
+                               std::future<SolverResult>* out) {
+  DEC_REQUIRE(solver_registered(req.solver),
+              "try_submit: unknown solver id: " + req.solver);
+  Job job;
+  job.req = std::move(req);
+  std::future<SolverResult> fut = job.promise.get_future();
+  if (!enqueue(std::move(job), /*blocking=*/false)) return false;
+  if (out != nullptr) *out = std::move(fut);
+  return true;
+}
+
+void SolverService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void SolverService::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_not_empty_.notify_all();
+  cv_not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats SolverService::stats() const {
+  ServiceStats s;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    // Averaged over jobs whose wait has been recorded (worker pickup), not
+    // over finished jobs — a picked-up-but-running job's wait must not be
+    // spread over a smaller denominator.
+    s.avg_queue_wait_ms =
+        waited_jobs_ > 0 ? static_cast<double>(wait_ns_total_) /
+                               static_cast<double>(waited_jobs_) / 1e6
+                         : 0.0;
+    s.max_queue_wait_ms = static_cast<double>(wait_ns_max_) / 1e6;
+  }
+  s.plans_built = shared_pool_.topology_misses();
+  s.plans_shared = shared_pool_.topology_hits();
+  const std::int64_t lookups = s.plans_built + s.plans_shared;
+  s.cache_hit_rate =
+      lookups > 0
+          ? static_cast<double>(s.plans_shared) / static_cast<double>(lookups)
+          : 0.0;
+  s.parked_run_states = shared_pool_.parked_run_states();
+  return s;
+}
+
+void SolverService::worker_main() {
+  // The worker's thread-confined view over the shared arena: run states it
+  // acquires stay warm across this worker's jobs and park for other tenants
+  // when the service shuts down.
+  NetworkPool view(shared_pool_);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_not_empty_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      const auto waited = std::chrono::steady_clock::now() - job.enqueued;
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count();
+      ++waited_jobs_;
+      wait_ns_total_ += ns;
+      if (ns > wait_ns_max_) wait_ns_max_ = ns;
+    }
+    cv_not_full_.notify_one();
+
+    std::optional<SolverResult> result;
+    std::exception_ptr error;
+    try {
+      result = execute_request(job.req, cfg_.engine_threads, &view);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Count the job before satisfying its future (a tenant reading stats()
+    // right after future.get() must see it), but keep it in flight until
+    // the future is satisfied (drain() returning must imply every future
+    // is ready).
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      (result.has_value() ? completed_ : failed_) += 1;
+    }
+    if (result.has_value()) {
+      job.promise.set_value(std::move(*result));
+    } else {
+      job.promise.set_exception(error);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace dec

@@ -1,0 +1,141 @@
+// SolverService: a multi-tenant solver front end over one shared arena.
+//
+// The service owns a bounded job queue and a set of worker threads. Tenants
+// submit SolverRequests (core/solver_registry.hpp) and get std::futures;
+// workers pop jobs and execute them through the registry. What makes this
+// more than a generic thread pool is what the workers share:
+//
+//  * One SharedNetworkPool across all tenants. Each worker holds its own
+//    thread-confined NetworkPool view over it, so topology plans are shared
+//    process-wide — two tenants submitting the same graph shape plan once,
+//    even concurrently (the shard mutex serializes the planners; the loser
+//    counts a cache hit) — and run states recycle across jobs.
+//
+//  * One persistent set of engine threads. The workers themselves are the
+//    service's concurrency: each job runs its solver with
+//    `engine_threads` round-engine shards (default 1 — jobs are the unit of
+//    parallelism, and recycled run states keep their engine thread pools
+//    across jobs, so nothing is respawned per job).
+//
+// Execution through the service is bit-identical to calling the solver
+// directly with a fresh pool — outputs, audited rounds, and per-component
+// ledger breakdowns (tests/test_solver_service.cpp pins this under TSan).
+// The service adds observability on top: per-job queue-wait times and
+// shared-arena counters (plans built vs shared, run states parked) surface
+// through stats().
+//
+// Lifecycle: submit() blocks while the queue is full (backpressure);
+// shutdown() stops intake, drains every queued job, and joins the workers;
+// the destructor calls shutdown(). A submitted job always gets its future
+// satisfied — with the result, or with the solver's exception.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/solver_registry.hpp"
+#include "sim/shared_pool.hpp"
+
+namespace dec {
+
+struct ServiceConfig {
+  /// Worker threads executing jobs concurrently (>= 1).
+  int workers = 2;
+  /// Jobs the queue holds before submit() blocks (>= 1).
+  std::size_t queue_capacity = 64;
+  /// Round-engine shards per job (the solvers' num_threads; 1 = serial
+  /// engine, 0 = hardware concurrency). Results are bit-identical across
+  /// engine shard counts; the default keeps jobs the unit of parallelism.
+  int engine_threads = 1;
+};
+
+struct ServiceStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;  // futures satisfied with a result
+  std::int64_t failed = 0;     // futures satisfied with an exception
+  // Shared-arena counters (global across the service's tenants).
+  std::int64_t plans_built = 0;   // topology cache misses
+  std::int64_t plans_shared = 0;  // topology cache hits
+  double cache_hit_rate = 0.0;    // shared / (built + shared), 0 when idle
+  std::size_t parked_run_states = 0;
+  // Queue-wait times (submit to worker pickup), averaged over the jobs a
+  // worker has picked up so far.
+  double avg_queue_wait_ms = 0.0;
+  double max_queue_wait_ms = 0.0;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig cfg = {});
+  ~SolverService();  // shutdown(): drains queued jobs, joins workers
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Queue a job; blocks while the queue is full, throws CheckError after
+  /// shutdown. The future carries the SolverResult or the solver's
+  /// exception. Callable from any thread.
+  std::future<SolverResult> submit(SolverRequest req);
+
+  /// Non-blocking submit: false (and no job queued) when the queue is full
+  /// or the service is shut down.
+  bool try_submit(SolverRequest req, std::future<SolverResult>* out);
+
+  /// Block until every job submitted so far has been executed.
+  void drain();
+
+  /// Stop intake, drain the queue, join the workers. Idempotent; implied by
+  /// destruction.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  /// The arena shared by every worker (e.g. to pre-warm topology plans).
+  SharedNetworkPool& shared_pool() { return shared_pool_; }
+
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Job {
+    SolverRequest req;
+    std::promise<SolverResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main();
+
+  ServiceConfig cfg_;
+  SharedNetworkPool shared_pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_empty_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_idle_;  // queue empty and no job in flight
+  std::deque<Job> queue_;
+  int in_flight_ = 0;
+  bool stopping_ = false;
+
+  /// Shared enqueue path for submit()/try_submit(): waits for space when
+  /// `blocking`, else fails on a full queue. Returns false only in the
+  /// non-blocking full-queue/stopped case; throws on submit-after-shutdown
+  /// when blocking.
+  bool enqueue(Job job, bool blocking);
+
+  // Guarded by mu_ (stats() snapshots under the lock).
+  std::int64_t submitted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t waited_jobs_ = 0;  // jobs whose queue wait has been recorded
+  std::int64_t wait_ns_total_ = 0;
+  std::int64_t wait_ns_max_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dec

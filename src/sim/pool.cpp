@@ -1,104 +1,29 @@
 #include "sim/pool.hpp"
 
+#include <type_traits>
+
 namespace dec {
 
-namespace {
-
-/// FNV-1a over the shape: node count then endpoint pairs. A hit is verified
-/// against the stored edge list, so the hash only has to be selective, not
-/// collision-free.
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  constexpr std::uint64_t kPrime = 1099511628211ull;
-  for (int b = 0; b < 8; ++b) {
-    h ^= (v >> (8 * b)) & 0xff;
-    h *= kPrime;
-  }
-  return h;
-}
-
-constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
-
-template <class ShapeView>
-std::uint64_t shape_fingerprint(NodeId n, const ShapeView& pairs) {
-  std::uint64_t h = fnv1a(kFnvBasis, static_cast<std::uint64_t>(n));
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const auto [a, b] = pairs[i];
-    h = fnv1a(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
-                  << 32) |
-                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(b)));
-  }
-  return h;
-}
-
-/// Shape views over the two graph kinds: pair access without materializing
-/// a list (the Digraph stores arcs CSR-side, not as one vector).
-struct EdgeListView {
-  const std::vector<std::pair<NodeId, NodeId>>& edges;
-  std::size_t size() const { return edges.size(); }
-  std::pair<NodeId, NodeId> operator[](std::size_t i) const {
-    return edges[i];
-  }
-};
-
-struct ArcListView {
-  const Digraph& dg;
-  std::size_t size() const {
-    return static_cast<std::size_t>(dg.num_arcs());
-  }
-  std::pair<NodeId, NodeId> operator[](std::size_t i) const {
-    return dg.arc(static_cast<EdgeId>(i));
-  }
-};
-
-template <class ShapeView>
-bool shape_equals(const std::vector<std::pair<NodeId, NodeId>>& stored,
-                  const ShapeView& shape) {
-  if (stored.size() != shape.size()) return false;
-  for (std::size_t i = 0; i < stored.size(); ++i) {
-    if (stored[i] != shape[i]) return false;
-  }
-  return true;
-}
-
-template <class ShapeView>
-std::vector<std::pair<NodeId, NodeId>> materialize(const ShapeView& shape) {
-  std::vector<std::pair<NodeId, NodeId>> out;
-  out.reserve(shape.size());
-  for (std::size_t i = 0; i < shape.size(); ++i) out.push_back(shape[i]);
-  return out;
-}
-
-}  // namespace
-
 NetworkPool::NetworkPool(int num_threads)
-    : num_threads_(resolve_num_threads(num_threads)) {}
+    : owned_(std::make_unique<SharedNetworkPool>(num_threads)),
+      owner_(std::this_thread::get_id()) {
+  shared_ = owned_.get();
+}
 
-template <class Topo, class ShapeView, class PlanFn>
-std::shared_ptr<const Topo> NetworkPool::find_or_plan(
-    std::vector<TopoEntry<Topo>>& cache, NodeId n, const ShapeView& shape,
-    PlanFn&& plan) {
-  const std::uint64_t fp = shape_fingerprint(n, shape);
-  for (const TopoEntry<Topo>& e : cache) {
-    if (e.fingerprint == fp && e.n == n && shape_equals(e.shape, shape)) {
-      ++hits_;
-      return e.topo;
-    }
+NetworkPool::NetworkPool(SharedNetworkPool& shared)
+    : shared_(&shared), owner_(std::this_thread::get_id()) {}
+
+NetworkPool::~NetworkPool() {
+  for (const auto& slot : nets_) {
+    DEC_DASSERT(!slot.busy, "a network lease outlived its pool");
   }
-  ++misses_;
-  std::shared_ptr<const Topo> topo = plan();
-  if (cache.size() >= kMaxCachedTopologies) cache.erase(cache.begin());
-  cache.push_back({fp, materialize(shape), n, topo});
-  return topo;
-}
-
-std::shared_ptr<const NetworkTopology> NetworkPool::topology(const Graph& g) {
-  return find_or_plan(net_topos_, g.num_nodes(), EdgeListView{g.edge_list()},
-                      [&] { return NetworkTopology::plan(g, num_threads_); });
-}
-
-std::shared_ptr<const DiTopology> NetworkPool::topology(const Digraph& dg) {
-  return find_or_plan(di_topos_, dg.num_nodes(), ArcListView{dg},
-                      [&] { return DiTopology::plan(dg, num_threads_); });
+  for (const auto& slot : dinets_) {
+    DEC_DASSERT(!slot.busy, "a dinetwork lease outlived its pool");
+  }
+  if (owned_ != nullptr) return;  // private arena dies with the view
+  // Park this view's run states in the shared arena for other tenants.
+  for (auto& slot : nets_) shared_->park(std::move(slot.net));
+  for (auto& slot : dinets_) shared_->park(std::move(slot.net));
 }
 
 template <class Net, class G, class Topo>
@@ -107,6 +32,8 @@ NetworkPool::Lease<Net> NetworkPool::acquire(std::vector<Slot<Net>>& slots,
                                              std::shared_ptr<const Topo> topo,
                                              RoundLedger* ledger,
                                              std::string component) {
+  DEC_DASSERT(std::this_thread::get_id() == owner_,
+              "a NetworkPool view is confined to its constructing thread");
   std::size_t idle = slots.size();
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (slots[i].busy) continue;
@@ -117,10 +44,21 @@ NetworkPool::Lease<Net> NetworkPool::acquire(std::vector<Slot<Net>>& slots,
     if (idle == slots.size()) idle = i;
   }
   if (idle == slots.size()) {
-    slots.push_back({std::make_unique<Net>(g, std::move(topo), ledger,
-                                           std::move(component)),
-                     true});
-    return Lease<Net>(this, idle, slots.back().net.get());
+    // Nothing idle in this view: adopt a parked run state from the shared
+    // arena before constructing fresh.
+    std::unique_ptr<Net> adopted;
+    if constexpr (std::is_same_v<Net, SyncNetwork>) {
+      adopted = shared_->adopt_network(topo.get());
+    } else {
+      adopted = shared_->adopt_dinetwork(topo.get());
+    }
+    if (adopted == nullptr) {
+      slots.push_back({std::make_unique<Net>(g, std::move(topo), ledger,
+                                             std::move(component)),
+                       true});
+      return Lease<Net>(this, idle, slots.back().net.get());
+    }
+    slots.push_back({std::move(adopted), false});
   }
   slots[idle].net->rebind(g, std::move(topo), ledger, std::move(component));
   slots[idle].busy = true;

@@ -1,64 +1,104 @@
-// NetworkPool: an arena of topology plans and network run states.
+// NetworkPool: a thread-confined view of a shared arena of topology plans
+// and network run states.
 //
 // Solvers that build many networks — one per phase game, one per recursion
 // level, one per pipeline stage — pay planning (CSR offsets, peer
 // permutation, shard partition, lane plan) and run-state allocation (message
-// planes, slabs, thread pool) for every single one. The pool amortizes both:
+// planes, slabs, thread pool) for every single one. The arena amortizes
+// both; since PR 5 the arena itself is SharedNetworkPool
+// (sim/shared_pool.hpp), a concurrent, multi-tenant store, and NetworkPool
+// is the thin single-threaded view solvers hold on it:
 //
-//  * Topology cache. plan() results are cached keyed by graph shape (node
-//    count, edge/arc count, 64-bit fingerprint of the edge list) and shared
-//    by shared_ptr. A fingerprint hit is verified against the full stored
-//    edge list before the plan is shared, so a hash collision can never pair
-//    a graph with the wrong plan — bit-identity is unconditional. Repeat
-//    shapes (e.g. the Linial and defective stages of congest coloring on the
-//    same graph, or a solver re-run on the same input) plan exactly once.
+//  * Topology cache (shared, thread-safe). topology() forwards to the shared
+//    pool's fingerprint-sharded cache: repeat shapes — across phases of one
+//    solver or across concurrent tenants — plan exactly once and share the
+//    plan by shared_ptr. Fingerprint hits are verified against the full
+//    stored edge list, so bit-identity is unconditional.
 //
-//  * Run-state arena. network()/dinetwork() lease a SyncNetwork/DiNetwork
-//    whose buffers, slabs, scratch, and thread pool are reused across
-//    leases: a returning shape degenerates to an O(shards) epoch reset, a
-//    new shape to an in-place rebind that reuses storage capacity. The RAII
-//    lease returns the run state to the pool on destruction.
+//  * Run-state arena (view-local, thread-confined). network()/dinetwork()
+//    lease a SyncNetwork/DiNetwork whose buffers, slabs, scratch, and thread
+//    pool are reused across leases: a returning shape degenerates to an
+//    O(shards) epoch reset, a new shape to an in-place rebind. Run states
+//    acquired by this view stay with it for its lifetime (no per-lease
+//    locking); on destruction they park in the shared pool for other
+//    tenants to adopt.
 //
 // A leased network starts indistinguishable from a freshly constructed one
 // (epoch-gated slots, cleared rounds/audit/slabs), so pooled runs are
 // bit-identical to fresh-network runs — outputs, audited rounds, and ledger
 // breakdowns; tests/test_network_pool.cpp pins this for all solvers.
 //
-// Lifetime rules: a lease must not outlive its pool; the graph passed to
-// network()/dinetwork() must outlive the lease (the run state references
-// it); the pool itself may outlive every graph it has seen (topologies hold
-// no graph pointers). The pool is not thread-safe — one pool per solver
-// invocation; the *networks* it hands out still run their own parallel round
-// engine with the pool's shard count.
+// Thread-safety and lifetime rules (debug-asserted, see DEC_DASSERT):
+//  * A NetworkPool view is confined to the thread that constructed it:
+//    network()/dinetwork() must be called there, and every lease must be
+//    released on that same thread. Concurrent tenants each hold their own
+//    view over one SharedNetworkPool (the SolverService does exactly this,
+//    one view per worker).
+//  * A lease must not outlive its pool — the pool's destructor aborts if a
+//    lease is still outstanding. The graph passed to network()/dinetwork()
+//    must outlive the lease (the run state references it); the pool itself
+//    may outlive every graph it has seen (topologies hold no graph
+//    pointers).
+//  * The networks a view hands out still run their own parallel round
+//    engine with the pool's shard count; that internal sharding is invisible
+//    to the confinement rules above.
+//
+// NetworkPool(int) keeps the historical single-threaded behavior: the view
+// privately owns its SharedNetworkPool, so existing solver signatures (an
+// optional NetworkPool*) work unchanged.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "sim/dinetwork.hpp"
 #include "sim/network.hpp"
+#include "sim/shared_pool.hpp"
 #include "sim/topology.hpp"
 
 namespace dec {
 
 class NetworkPool {
  public:
-  /// All leased networks run with `num_threads` shards (0 picks hardware
-  /// concurrency, like ParallelSyncNetwork).
+  /// Stand-alone view: privately owns a SharedNetworkPool. All leased
+  /// networks run with `num_threads` shards (0 picks hardware concurrency,
+  /// like ParallelSyncNetwork).
   explicit NetworkPool(int num_threads = 1);
 
-  int num_threads() const { return num_threads_; }
+  /// Tenant view over a shared arena: topology plans and parked run states
+  /// are shared with every other view of `shared`; leases and the view
+  /// itself stay confined to the constructing thread. The view leases
+  /// networks with the shared pool's shard count and must not outlive
+  /// `shared` (it parks its run states there on destruction).
+  explicit NetworkPool(SharedNetworkPool& shared);
 
-  /// Plan-or-fetch the topology for a graph shape.
-  std::shared_ptr<const NetworkTopology> topology(const Graph& g);
-  std::shared_ptr<const DiTopology> topology(const Digraph& dg);
+  ~NetworkPool();
 
-  /// RAII lease of a pooled run state; releases back to the pool on
-  /// destruction. Move-only.
+  NetworkPool(const NetworkPool&) = delete;
+  NetworkPool& operator=(const NetworkPool&) = delete;
+
+  int num_threads() const { return shared_->num_threads(); }
+
+  /// The arena this view is over (its own when constructed with a thread
+  /// count).
+  SharedNetworkPool& shared() { return *shared_; }
+
+  /// Plan-or-fetch the topology for a graph shape (thread-safe, forwarded
+  /// to the shared arena).
+  std::shared_ptr<const NetworkTopology> topology(const Graph& g) {
+    return shared_->topology(g);
+  }
+  std::shared_ptr<const DiTopology> topology(const Digraph& dg) {
+    return shared_->topology(dg);
+  }
+
+  /// RAII lease of a pooled run state; releases back to the view on
+  /// destruction. Move-only. Must be released on the thread that acquired
+  /// it (debug-asserted) — move a view, not a lease, across threads.
   template <class Net>
   class Lease {
    public:
@@ -70,6 +110,7 @@ class NetworkPool {
         pool_ = o.pool_;
         index_ = o.index_;
         net_ = o.net_;
+        owner_ = o.owner_;
         o.pool_ = nullptr;
         o.net_ = nullptr;
       }
@@ -84,9 +125,15 @@ class NetworkPool {
    private:
     friend class NetworkPool;
     Lease(NetworkPool* pool, std::size_t index, Net* net)
-        : pool_(pool), index_(index), net_(net) {}
+        : pool_(pool),
+          index_(index),
+          net_(net),
+          owner_(std::this_thread::get_id()) {}
     void release() {
       if (pool_ != nullptr && net_ != nullptr) {
+        DEC_DASSERT(std::this_thread::get_id() == owner_,
+                    "a pool lease must be released on the thread that "
+                    "acquired it");
         pool_->release_slot(net_, index_);
       }
       pool_ = nullptr;
@@ -96,6 +143,7 @@ class NetworkPool {
     NetworkPool* pool_ = nullptr;
     std::size_t index_ = 0;
     Net* net_ = nullptr;
+    std::thread::id owner_;
   };
   using NetworkLease = Lease<SyncNetwork>;
   using DiNetworkLease = Lease<DiNetwork>;
@@ -107,46 +155,25 @@ class NetworkPool {
   DiNetworkLease dinetwork(const Digraph& dg, RoundLedger* ledger = nullptr,
                            std::string component = "dinetwork");
 
-  // Introspection (tests and stats).
-  std::int64_t topology_hits() const { return hits_; }
-  std::int64_t topology_misses() const { return misses_; }
+  // Introspection (tests and stats). Topology counts are the shared
+  // arena's (global across tenant views); run_states() counts this view's.
+  std::int64_t topology_hits() const { return shared_->topology_hits(); }
+  std::int64_t topology_misses() const { return shared_->topology_misses(); }
   std::size_t cached_topologies() const {
-    return net_topos_.size() + di_topos_.size();
+    return shared_->cached_topologies();
   }
   std::size_t run_states() const { return nets_.size() + dinets_.size(); }
 
  private:
-  /// Cached plans above this are evicted FIFO; per-phase game shapes rarely
-  /// repeat, so an unbounded cache would grow by one plan per phase.
-  static constexpr std::size_t kMaxCachedTopologies = 64;
-
-  /// One cached plan: the shape fingerprint plus the full endpoint-pair
-  /// list (edge list / arc list), re-verified on every fingerprint hit.
-  template <class Topo>
-  struct TopoEntry {
-    std::uint64_t fingerprint;
-    std::vector<std::pair<NodeId, NodeId>> shape;
-    NodeId n;
-    std::shared_ptr<const Topo> topo;
-  };
   template <class Net>
   struct Slot {
     std::unique_ptr<Net> net;
     bool busy = false;
   };
 
-  /// Shared fingerprint-then-verify cache lookup (defined in pool.cpp; both
-  /// instantiations live there). `shape` is a lightweight view (size() +
-  /// operator[] yielding endpoint pairs) over the graph's edge list or the
-  /// digraph's arcs; it is materialized into the cache only on a miss — the
-  /// hit path (the common case) allocates nothing.
-  template <class Topo, class ShapeView, class PlanFn>
-  std::shared_ptr<const Topo> find_or_plan(std::vector<TopoEntry<Topo>>& cache,
-                                           NodeId n, const ShapeView& shape,
-                                           PlanFn&& plan);
-
   /// Shared lease selection: prefer an idle run state on this exact plan
-  /// (O(shards) reset), else any idle one (in-place rebind), else grow.
+  /// (O(shards) reset), else any idle one (in-place rebind), else adopt a
+  /// parked state from the shared arena, else grow.
   template <class Net, class G, class Topo>
   Lease<Net> acquire(std::vector<Slot<Net>>& slots, const G& g,
                      std::shared_ptr<const Topo> topo, RoundLedger* ledger,
@@ -159,13 +186,11 @@ class NetworkPool {
     dinets_[index].busy = false;
   }
 
-  int num_threads_;
-  std::vector<TopoEntry<NetworkTopology>> net_topos_;
-  std::vector<TopoEntry<DiTopology>> di_topos_;
+  SharedNetworkPool* shared_;
+  std::unique_ptr<SharedNetworkPool> owned_;  // set by NetworkPool(int)
+  std::thread::id owner_;                     // constructing thread
   std::vector<Slot<SyncNetwork>> nets_;
   std::vector<Slot<DiNetwork>> dinets_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
 };
 
 /// Lease-or-construct: solvers take an optional NetworkPool* and fall back

@@ -1,5 +1,7 @@
 #include "util/check.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace dec::detail {
@@ -10,6 +12,14 @@ void check_failed(const char* kind, const char* cond, const char* file,
   os << file << ":" << line << ": " << kind << " violated: " << cond;
   if (!msg.empty()) os << " — " << msg;
   throw CheckError(os.str());
+}
+
+void dassert_failed(const char* cond, const char* file, int line,
+                    const char* msg) {
+  std::fprintf(stderr, "%s:%d: lifetime assertion violated: %s — %s\n", file,
+               line, cond, msg);
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace dec::detail

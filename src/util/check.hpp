@@ -43,3 +43,27 @@ namespace detail {
                                   (msg));                                     \
     }                                                                         \
   } while (0)
+
+namespace dec::detail {
+[[noreturn]] void dassert_failed(const char* cond, const char* file, int line,
+                                 const char* msg);
+}  // namespace dec::detail
+
+/// Lifetime/ownership assertion (lease thread confinement, leases outliving
+/// their pool). Unlike DEC_CHECK these fire from destructors, where throwing
+/// would terminate with the context lost — so a violation prints the
+/// location and aborts instead. The checked conditions are per-lease (never
+/// per-round/per-message), so they stay on in every build; define
+/// DEC_DISABLE_DASSERT to compile them out.
+#ifdef DEC_DISABLE_DASSERT
+#define DEC_DASSERT(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define DEC_DASSERT(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dec::detail::dassert_failed(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (0)
+#endif

@@ -1,0 +1,90 @@
+// The pool lifetime rules are debug-asserted (DEC_DASSERT aborts, because
+// the violations fire in destructors where throwing would lose the
+// context): a lease must be released on the thread that acquired it, a
+// lease must not outlive its pool, and a NetworkPool view must be used only
+// from its constructing thread. Death tests pin each assertion's message.
+// This file is deliberately NOT in the CI TSan filter: death tests fork,
+// and forking a TSan-instrumented multithreaded process is unsupported.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "sim/pool.hpp"
+#include "util/rng.hpp"
+
+namespace dec {
+namespace {
+
+Graph small_graph() {
+  Rng rng(1);
+  return gen::gnp(20, 0.2, rng);
+}
+
+#ifndef DEC_DISABLE_DASSERT
+
+TEST(LeaseConfinementDeathTest, ReleaseOnForeignThreadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Graph g = small_graph();
+  EXPECT_DEATH(
+      {
+        NetworkPool pool(1);
+        auto lease = pool.network(g);
+        // Moving the lease to another thread and releasing it there breaks
+        // the thread-confinement rule.
+        std::thread([moved = std::move(lease)]() mutable {
+          auto dies_here = std::move(moved);
+        }).join();
+      },
+      "released on the thread that acquired it");
+}
+
+TEST(LeaseConfinementDeathTest, LeaseOutlivingItsPoolAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Graph g = small_graph();
+  EXPECT_DEATH(
+      {
+        std::optional<NetworkPool> pool(std::in_place, 1);
+        auto lease = pool->network(g);
+        pool.reset();  // the pool dies while the lease is outstanding
+      },
+      "lease outlived its pool");
+}
+
+TEST(LeaseConfinementDeathTest, ViewUsedFromForeignThreadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Graph g = small_graph();
+  EXPECT_DEATH(
+      {
+        NetworkPool pool(1);
+        std::thread([&] { auto lease = pool.network(g); }).join();
+      },
+      "confined to its constructing thread");
+}
+
+#endif  // DEC_DISABLE_DASSERT
+
+// The happy path stays silent: acquire and release on one thread, pool
+// outliving its leases, views per thread.
+TEST(LeaseConfinement, ConfinedUseIsClean) {
+  const Graph g = small_graph();
+  SharedNetworkPool shared(1);
+  auto tenant = [&] {
+    NetworkPool view(shared);
+    auto l1 = view.network(g);
+    auto l2 = view.network(g);
+    auto l3 = std::move(l1);  // moves within the thread are fine
+  };
+  std::thread a(tenant), b(tenant);
+  a.join();
+  b.join();
+  NetworkPool local(1);
+  const Digraph dg(3, {{0, 1}, {1, 2}});
+  { auto lease = local.network(g); }
+  { auto lease = local.dinetwork(dg); }
+}
+
+}  // namespace
+}  // namespace dec
