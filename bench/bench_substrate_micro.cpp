@@ -5,7 +5,10 @@
 #include "coloring/defective.hpp"
 #include "coloring/linial.hpp"
 #include "core/defective2ec.hpp"
+#include "core/solver_registry.hpp"
 #include "core/token_dropping.hpp"
+#include "service/solver_service.hpp"
+#include "sim/cancel.hpp"
 #include "graph/generators.hpp"
 #include "graph/line_graph.hpp"
 #include "graph/properties.hpp"
@@ -135,6 +138,26 @@ void BM_NetworkRoundFast(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
 BENCHMARK(BM_NetworkRoundFast)->Arg(1000)->Arg(10000);
+
+// BM_NetworkRoundFast with an installed (never-tripping) CancelToken: the
+// cost of the relaxed aborted() load the barrier pays per round when a
+// token is present. Compare against BM_NetworkRoundFast for the delta.
+void BM_NetworkRoundCancelToken(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g);
+  CancelToken token;
+  net.set_cancel(&token);
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
+      for (auto& m : out) m = Message{v};
+    });
+  }
+  net.set_cancel(nullptr);
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NetworkRoundCancelToken)->Arg(1000)->Arg(10000);
 
 // Parallel round engine; Args are {n, threads}.
 void BM_NetworkRoundParallel(benchmark::State& state) {
@@ -391,6 +414,32 @@ BENCHMARK(BM_SharedPoolContention)
     ->Args({4, 0})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Cancellation round-trip through the service: submit a long solve, cancel
+// immediately, block on the future. Measures how fast an abort propagates
+// from cancel() through the next round barrier to a satisfied future.
+// cancelled_frac counts how often the cancel beat the solver (the rest
+// complete kOk — both are valid resolutions of the race).
+void BM_ServiceCancellation(benchmark::State& state) {
+  Rng rng(9);
+  auto g = std::make_shared<const Graph>(gen::gnp(220, 0.12, rng));
+  SolverService service({.workers = 1, .queue_capacity = 4});
+  std::int64_t cancelled = 0;
+  for (auto _ : state) {
+    JobTicket t = service.submit(make_congest_request(g, {0.25}));
+    service.cancel(t.id);
+    const SolverResult r = t.result.get();
+    if (r.status == SolverStatus::kCancelled) ++cancelled;
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.counters["cancelled_frac"] =
+      state.iterations() > 0
+          ? static_cast<double>(cancelled) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCancellation)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = 16;
   SolverService service(cfg);
 
-  std::vector<std::future<SolverResult>> futures;
-  // Graph each future's job ran on (null for digraph jobs), for validation.
+  std::vector<JobTicket> tickets;
+  // Graph each ticket's job ran on (null for digraph jobs), for validation.
   std::vector<std::shared_ptr<const Graph>> job_graph;
   for (int t = 0; t < tenants; ++t) {
     for (int j = 0; j < jobs_per_tenant; ++j) {
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
           BipartiteColoringJob job;
           job.parts = bg->parts;
           job.eps = 1.0;
-          futures.push_back(
+          tickets.push_back(
               service.submit(make_bipartite_request(g, std::move(job))));
           break;
         }
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
           job.parts = bg->parts;
           job.eta.assign(static_cast<std::size_t>(g->num_edges()), 0.0);
           for (auto& v : job.eta) v = 2.0 * rng.next_double() - 1.0;
-          futures.push_back(
+          tickets.push_back(
               service.submit(make_orientation_request(g, std::move(job))));
           break;
         }
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
           job.parts = bg->parts;
           job.lambda.assign(static_cast<std::size_t>(g->num_edges()), 0.5);
           job.eps = 1.0;
-          futures.push_back(
+          tickets.push_back(
               service.submit(make_defective2ec_request(g, std::move(job))));
           break;
         }
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(game->num_nodes()), 2);
           job.initial_tokens.assign(
               static_cast<std::size_t>(game->num_nodes()), 5);
-          futures.push_back(service.submit(
+          tickets.push_back(service.submit(
               make_token_dropping_request(std::move(game), std::move(job))));
           break;
         }
@@ -95,32 +95,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A latecomer with an impossible deadline shows the failure taxonomy:
+  // its future still resolves — with kDeadlineExceeded, not an exception.
+  {
+    const auto& bg = shapes[0];
+    std::shared_ptr<const Graph> g(bg, &bg->graph);
+    BalancedOrientationJob job;
+    job.parts = bg->parts;
+    job.eta.assign(static_cast<std::size_t>(g->num_edges()), 0.0);
+    SubmitOptions opts;
+    opts.round_budget = 2;  // a couple of round barriers, then abort
+    JobTicket doomed =
+        service.submit(make_orientation_request(g, std::move(job)), opts);
+    const SolverResult r = doomed.result.get();
+    std::printf("budgeted job resolved: %s\n", to_string(r.status));
+  }
+
   std::int64_t total_rounds = 0;
   int colorings = 0, proper = 0, job_errors = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    try {
-      const SolverResult r = futures[i].get();
-      total_rounds += r.ledger.total();
-      if (const auto* c = std::get_if<BipartiteColoringResult>(&r.output)) {
-        ++colorings;
-        if (is_complete_proper_edge_coloring(*job_graph[i], c->colors)) {
-          ++proper;
-        }
-      }
-    } catch (const std::exception& e) {
-      // A failed job surfaces its solver exception through the future; keep
-      // collecting so the stats (and the non-zero exit) still print.
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    // Every ticket's future is satisfied with a value; failures are data.
+    const SolverResult r = tickets[i].result.get();
+    if (r.status != SolverStatus::kOk) {
       ++job_errors;
-      std::printf("job %zu failed: %s\n", i, e.what());
+      std::printf("job %zu %s: %s\n", i, to_string(r.status),
+                  r.error.c_str());
+      continue;
+    }
+    total_rounds += r.ledger.total();
+    if (const auto* c = std::get_if<BipartiteColoringResult>(&r.output)) {
+      ++colorings;
+      if (is_complete_proper_edge_coloring(*job_graph[i], c->colors)) {
+        ++proper;
+      }
     }
   }
 
   const ServiceStats stats = service.stats();
   std::printf("service: %d tenants x %d jobs = %d total\n", tenants,
               jobs_per_tenant, tenants * jobs_per_tenant);
-  std::printf("  completed        : %lld (failed %lld)\n",
+  std::printf("  completed        : %lld (failed %lld, deadline %lld)\n",
               static_cast<long long>(stats.completed),
-              static_cast<long long>(stats.failed));
+              static_cast<long long>(stats.failed),
+              static_cast<long long>(stats.deadline_exceeded));
   std::printf("  plans built      : %lld\n",
               static_cast<long long>(stats.plans_built));
   std::printf("  plans shared     : %lld (hit rate %.0f%%)\n",
@@ -134,6 +151,10 @@ int main(int argc, char** argv) {
   std::printf("  colorings proper : %d / %d\n", proper, colorings);
 
   if (stats.failed != 0 || job_errors != 0 || proper != colorings) return 1;
+  if (stats.deadline_exceeded != 1) {
+    std::printf("unexpected: budgeted job did not report its deadline\n");
+    return 1;
+  }
   if (stats.plans_shared == 0) {
     std::printf("unexpected: no plan sharing across tenants\n");
     return 1;

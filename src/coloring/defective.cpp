@@ -84,12 +84,14 @@ DefectiveResult precolor_message_passing(const Graph& g,
                                          const std::vector<Color>& input,
                                          const PrecolorParams& p,
                                          RoundLedger* ledger,
-                                         int num_threads, NetworkPool* pool) {
+                                         int num_threads, NetworkPool* pool,
+                                         CancelToken* cancel) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = static_cast<int>(p.q * p.q);
   res.colors.resize(static_cast<std::size_t>(n));
-  ScopedNetwork net_scope(pool, g, ledger, "defective_precolor", num_threads);
+  ScopedNetwork net_scope(pool, g, ledger, "defective_precolor", num_threads,
+                          cancel);
   SyncNetwork& net = *net_scope;
   // The one round: every node announces its input color on every edge.
   net.round_fast([&](NodeId v, const Inbox&, Outbox& out) {
@@ -129,8 +131,8 @@ DefectiveResult refine_message_passing(const Graph& g,
                                        int num_classes, int num_colors,
                                        int move_threshold, int max_sweeps,
                                        RoundLedger* ledger, int num_threads,
-                                       bool dirty_announce,
-                                       NetworkPool* pool) {
+                                       bool dirty_announce, NetworkPool* pool,
+                                       CancelToken* cancel) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = num_colors;
@@ -140,7 +142,8 @@ DefectiveResult refine_message_passing(const Graph& g,
         classes[static_cast<std::size_t>(v)] % num_colors;
   }
 
-  ScopedNetwork net_scope(pool, g, ledger, "defective_refine", num_threads);
+  ScopedNetwork net_scope(pool, g, ledger, "defective_refine", num_threads,
+                          cancel);
   SyncNetwork& net = *net_scope;
 
   // Per-node neighbor-color cache, laid out on the network's own slot plane
@@ -236,7 +239,7 @@ DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger, int num_threads,
-                                   NetworkPool* pool) {
+                                   NetworkPool* pool, CancelToken* cancel) {
   DEC_REQUIRE(target_defect >= 1, "target defect must be >= 1");
   DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
   for (const Color c : input) {
@@ -247,7 +250,7 @@ DefectiveResult defective_precolor(const Graph& g,
   const PrecolorParams p = precolor_params(m, delta, target_defect);
 
   DefectiveResult res =
-      precolor_message_passing(g, input, p, ledger, num_threads, pool);
+      precolor_message_passing(g, input, p, ledger, num_threads, pool, cancel);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   DEC_CHECK(res.max_defect <= target_defect,
             "defective precolor exceeded its defect target");
@@ -259,7 +262,8 @@ DefectiveResult defective_refine(const Graph& g,
                                  int num_classes, int num_colors,
                                  int move_threshold, int max_sweeps,
                                  RoundLedger* ledger, int num_threads,
-                                 bool dirty_announce, NetworkPool* pool) {
+                                 bool dirty_announce, NetworkPool* pool,
+                                 CancelToken* cancel) {
   DEC_REQUIRE(num_colors >= 2, "refine needs at least two colors");
   DEC_REQUIRE(move_threshold >= (g.max_degree() / num_colors) + 1,
               "threshold too tight: moving nodes could never settle");
@@ -272,7 +276,7 @@ DefectiveResult defective_refine(const Graph& g,
   DefectiveResult res =
       refine_message_passing(g, classes, num_classes, num_colors,
                              move_threshold, max_sweeps, ledger, num_threads,
-                             dirty_announce, pool);
+                             dirty_announce, pool, cancel);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   if (!res.converged) {
     // The cap was generous; reaching it without meeting the contract means a
@@ -287,7 +291,7 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
                                      RoundLedger* ledger, int num_threads,
-                                     NetworkPool* pool) {
+                                     NetworkPool* pool, CancelToken* cancel) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   const int delta = g.max_degree();
   const int target = static_cast<int>(eps * delta) + delta / 2;
@@ -318,7 +322,7 @@ DefectiveResult defective_4_coloring(const Graph& g,
   // Half the ε budget to the precoloring defect, half to the refine margin.
   const int pre_defect = std::max(1, static_cast<int>(eps * delta / 2.0));
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
-                                           ledger, num_threads, pool);
+                                           ledger, num_threads, pool, cancel);
 
   const int margin = std::max(1, static_cast<int>(eps * delta / 4.0));
   // At small Δ the flat +margin +pre_defect headroom can exceed the Lemma
@@ -331,7 +335,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
       64 + static_cast<int>(16.0 / (eps * eps) / std::max(1, delta));
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, 4, threshold, max_sweeps,
-                       ledger, num_threads, /*dirty_announce=*/true, pool);
+                       ledger, num_threads, /*dirty_announce=*/true, pool,
+                       cancel);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   ref.messages += pre.messages;
@@ -345,7 +350,8 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int input_palette, int num_colors,
                                          int target_defect,
                                          RoundLedger* ledger,
-                                         int num_threads, NetworkPool* pool) {
+                                         int num_threads, NetworkPool* pool,
+                                         CancelToken* cancel) {
   const int delta = g.max_degree();
   DEC_REQUIRE(target_defect >= delta / num_colors + 1,
               "target defect below the pigeonhole floor");
@@ -359,12 +365,13 @@ DefectiveResult defective_split_coloring(const Graph& g,
   // possible), then refine.
   const int pre_defect = std::max(1, target_defect / 2);
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
-                                           ledger, num_threads, pool);
+                                           ledger, num_threads, pool, cancel);
   const int threshold = std::max(delta / num_colors + 1,
                                  target_defect - pre_defect);
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, num_colors, threshold, 256,
-                       ledger, num_threads, /*dirty_announce=*/true, pool);
+                       ledger, num_threads, /*dirty_announce=*/true, pool,
+                       cancel);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   ref.messages += pre.messages;

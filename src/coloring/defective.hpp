@@ -43,6 +43,7 @@
 
 namespace dec {
 
+class CancelToken;
 class NetworkPool;
 
 struct DefectiveResult {
@@ -64,7 +65,8 @@ DefectiveResult defective_precolor(const Graph& g,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger = nullptr,
                                    int num_threads = 1,
-                                   NetworkPool* pool = nullptr);
+                                   NetworkPool* pool = nullptr,
+                                   CancelToken* cancel = nullptr);
 
 /// Threshold local search over the classes of `classes` (any coloring with
 /// values in [0, num_classes); independence not required). Produces a
@@ -80,7 +82,8 @@ DefectiveResult defective_refine(const Graph& g,
                                  RoundLedger* ledger = nullptr,
                                  int num_threads = 1,
                                  bool dirty_announce = true,
-                                 NetworkPool* pool = nullptr);
+                                 NetworkPool* pool = nullptr,
+                                 CancelToken* cancel = nullptr);
 
 /// Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring from a proper O(Δ²)-coloring.
 DefectiveResult defective_4_coloring(const Graph& g,
@@ -88,7 +91,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                      int input_palette, double eps,
                                      RoundLedger* ledger = nullptr,
                                      int num_threads = 1,
-                                     NetworkPool* pool = nullptr);
+                                     NetworkPool* pool = nullptr,
+                                     CancelToken* cancel = nullptr);
 
 /// General split: num_colors-coloring with defect ≤ target_defect, where
 /// target_defect must be ≥ ceil(Δ/num_colors) + 1. Used by Theorem D.4's
@@ -99,6 +103,7 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int target_defect,
                                          RoundLedger* ledger = nullptr,
                                          int num_threads = 1,
-                                         NetworkPool* pool = nullptr);
+                                         NetworkPool* pool = nullptr,
+                                         CancelToken* cancel = nullptr);
 
 }  // namespace dec

@@ -54,7 +54,8 @@ std::int64_t eval_digit_poly(std::int64_t color, std::int64_t q, int d,
 
 LinialResult linial_color(const Graph& g, RoundLedger* ledger,
                           std::vector<Color> initial, std::int64_t id_space,
-                          int num_threads, NetworkPool* pool) {
+                          int num_threads, NetworkPool* pool,
+                          CancelToken* cancel) {
   const NodeId n = g.num_nodes();
   if (initial.empty()) {
     initial.resize(static_cast<std::size_t>(n));
@@ -83,7 +84,7 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
   }
 
   // ScopedNetwork resolves the 0-means-hardware convention itself.
-  ScopedNetwork net_scope(pool, g, ledger, "linial", num_threads);
+  ScopedNetwork net_scope(pool, g, ledger, "linial", num_threads, cancel);
   SyncNetwork& net = *net_scope;
   std::int64_t m = id_space;
 
@@ -155,9 +156,10 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
 }
 
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger,
-                               int num_threads, NetworkPool* pool) {
+                               int num_threads, NetworkPool* pool,
+                               CancelToken* cancel) {
   const Graph lg = line_graph(g);
-  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads, pool);
+  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads, pool, cancel);
   DEC_CHECK(is_proper_edge_coloring(g, res.colors),
             "line-graph coloring is not a proper edge coloring");
   return res;

@@ -22,6 +22,7 @@
 
 namespace dec {
 
+class CancelToken;
 class NetworkPool;
 
 struct LinialResult {
@@ -51,7 +52,8 @@ LinialStep linial_step_params(std::int64_t m, int max_degree);
 LinialResult linial_color(const Graph& g, RoundLedger* ledger = nullptr,
                           std::vector<Color> initial = {},
                           std::int64_t id_space = 0, int num_threads = 1,
-                          NetworkPool* pool = nullptr);
+                          NetworkPool* pool = nullptr,
+                          CancelToken* cancel = nullptr);
 
 /// Run Linial on the line graph of g, producing a proper *edge* coloring of g
 /// with O(Δ̄²) colors in O(log* m) rounds. (In LOCAL/CONGEST a node simulates
@@ -59,6 +61,7 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger = nullptr,
 /// directly is faithful.)
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger = nullptr,
                                int num_threads = 1,
-                               NetworkPool* pool = nullptr);
+                               NetworkPool* pool = nullptr,
+                               CancelToken* cancel = nullptr);
 
 }  // namespace dec

@@ -44,7 +44,8 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
                                                const OrientationParams& params,
                                                RoundLedger* ledger,
                                                int num_threads,
-                                               NetworkPool* pool) {
+                                               NetworkPool* pool,
+                                               CancelToken* cancel) {
   validate_bipartition(g, parts);
   DEC_REQUIRE(eta.size() == static_cast<std::size_t>(g.num_edges()),
               "eta has wrong length");
@@ -68,7 +69,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
     pool = &*own_pool;
   }
   ScopedNetwork net_scope(pool, g, ledger, "balanced_orientation",
-                          num_threads);
+                          num_threads, cancel);
   SyncNetwork& net = *net_scope;
 
   // Node-owned state (each slot written only by its owning node's program,
@@ -265,7 +266,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
             std::min<int>(accepted_count[static_cast<std::size_t>(v)], tp.k);
       }
       TokenDroppingResult game_res = run_token_dropping(
-          game, std::move(tokens), tp, ledger, num_threads, pool);
+          game, std::move(tokens), tp, ledger, num_threads, pool, cancel);
       game_rounds += game_res.rounds;
       res.max_message_bits =
           std::max(res.max_message_bits, game_res.max_message_bits);

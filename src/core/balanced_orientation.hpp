@@ -46,6 +46,7 @@
 
 namespace dec {
 
+class CancelToken;
 class NetworkPool;
 
 struct BalancedOrientationResult {
@@ -71,7 +72,8 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
                                                const OrientationParams& params,
                                                RoundLedger* ledger = nullptr,
                                                int num_threads = 1,
-                                               NetworkPool* pool = nullptr);
+                                               NetworkPool* pool = nullptr,
+                                               CancelToken* cancel = nullptr);
 
 /// Recompute the per-edge balance excess of an orientation:
 /// excess(e) = (x_head-side difference beyond η_e) − (ε/2)·deg(e).

@@ -18,11 +18,12 @@ namespace {
 /// arithmetic-progression reduction + greedy reduction. Returns rounds.
 std::int64_t color_leaf_part(const Graph& sub, std::vector<Color>& out,
                              RoundLedger* ledger, int num_threads,
-                             NetworkPool* pool) {
+                             NetworkPool* pool, CancelToken* cancel) {
   std::int64_t rounds = 0;
   if (sub.num_edges() == 0) return rounds;
   const Graph lg = line_graph(sub);
-  const LinialResult lin = linial_color(lg, ledger, {}, 0, num_threads, pool);
+  const LinialResult lin =
+      linial_color(lg, ledger, {}, 0, num_threads, pool, cancel);
   rounds += lin.rounds;
   if (lg.max_degree() == 0) {
     out.assign(static_cast<std::size_t>(sub.num_edges()), 0);
@@ -47,7 +48,8 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
                                                 double eps, ParamMode mode,
                                                 RoundLedger* ledger,
                                                 int num_threads,
-                                                NetworkPool* pool) {
+                                                NetworkPool* pool,
+                                                CancelToken* cancel) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   validate_bipartition(g, parts);
 
@@ -133,7 +135,7 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
           static_cast<std::size_t>(sub.num_edges()), 0.5);
       RoundLedger local;
       const Defective2ECResult split = defective_2_edge_coloring(
-          sub, parts, lambda, chi, mode, &local, num_threads, pool);
+          sub, parts, lambda, chi, mode, &local, num_threads, pool, cancel);
       level_rounds = std::max(level_rounds, local.total());
       for (std::size_t i = 0; i < members.size(); ++i) {
         // Red stays at index 2p, blue moves to 2p+1.
@@ -168,7 +170,7 @@ BipartiteColoringResult bipartite_edge_coloring(const Graph& g,
     std::vector<Color> sub_colors;
     leaf_rounds = std::max(
         leaf_rounds,
-        color_leaf_part(sub, sub_colors, &local, num_threads, pool));
+        color_leaf_part(sub, sub_colors, &local, num_threads, pool, cancel));
     leaf_rounds = std::max(leaf_rounds, local.total());
     for (std::size_t i = 0; i < members.size(); ++i) {
       res.colors[static_cast<std::size_t>(members[i])] =

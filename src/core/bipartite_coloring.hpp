@@ -22,6 +22,7 @@
 
 namespace dec {
 
+class CancelToken;
 class NetworkPool;
 
 struct BipartiteColoringResult {
@@ -41,6 +42,7 @@ struct BipartiteColoringResult {
 BipartiteColoringResult bipartite_edge_coloring(
     const Graph& g, const Bipartition& parts, double eps,
     ParamMode mode = ParamMode::kPractical, RoundLedger* ledger = nullptr,
-    int num_threads = 1, NetworkPool* pool = nullptr);
+    int num_threads = 1, NetworkPool* pool = nullptr,
+    CancelToken* cancel = nullptr);
 
 }  // namespace dec

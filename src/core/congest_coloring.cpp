@@ -17,7 +17,8 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
                                             ParamMode mode,
                                             RoundLedger* ledger,
                                             int num_threads,
-                                            NetworkPool* pool) {
+                                            NetworkPool* pool,
+                                            CancelToken* cancel) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   CongestColoringResult res;
   res.colors.assign(static_cast<std::size_t>(g.num_edges()), kUncolored);
@@ -38,7 +39,8 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
   }
 
   // Initial O(Δ²)-vertex coloring (O(log* n) rounds; CONGEST-legal).
-  const LinialResult lin = linial_color(g, ledger, {}, 0, num_threads, pool);
+  const LinialResult lin =
+      linial_color(g, ledger, {}, 0, num_threads, pool, cancel);
   res.rounds += lin.rounds;
 
   const int delta0 = g.max_degree();
@@ -66,7 +68,7 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
     RoundLedger local;
     const DefectiveResult def4 =
         defective_4_coloring(cur.graph, lin.colors, lin.palette, eps1, &local,
-                             num_threads, pool);
+                             num_threads, pool, cancel);
     res.rounds += def4.rounds;
     if (ledger != nullptr) ledger->charge("defective4", def4.rounds);
 
@@ -100,7 +102,7 @@ CongestColoringResult congest_edge_coloring(const Graph& g, double eps,
       EdgeSubgraph bip = edge_subgraph(g, take);
       RoundLedger bip_ledger;
       const BipartiteColoringResult bc = bipartite_edge_coloring(
-          bip.graph, parts, eps, mode, &bip_ledger, num_threads, pool);
+          bip.graph, parts, eps, mode, &bip_ledger, num_threads, pool, cancel);
       res.rounds += bc.rounds;
       if (ledger != nullptr) ledger->charge("bipartite_level", bc.rounds);
       for (std::size_t i = 0; i < bip.members.size(); ++i) {

@@ -22,6 +22,7 @@
 
 namespace dec {
 
+class CancelToken;
 class NetworkPool;
 
 struct CongestColoringResult {
@@ -42,6 +43,6 @@ struct CongestColoringResult {
 CongestColoringResult congest_edge_coloring(
     const Graph& g, double eps, ParamMode mode = ParamMode::kPractical,
     RoundLedger* ledger = nullptr, int num_threads = 1,
-    NetworkPool* pool = nullptr);
+    NetworkPool* pool = nullptr, CancelToken* cancel = nullptr);
 
 }  // namespace dec

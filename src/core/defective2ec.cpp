@@ -23,7 +23,8 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
                                              double eps, ParamMode mode,
                                              RoundLedger* ledger,
                                              int num_threads,
-                                             NetworkPool* pool) {
+                                             NetworkPool* pool,
+                                             CancelToken* cancel) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   DEC_REQUIRE(lambda.size() == static_cast<std::size_t>(g.num_edges()),
               "lambda has wrong length");
@@ -45,7 +46,8 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
   op.nu = std::min(0.125, nu_from_eps(eps));
   op.mode = mode;
   const BalancedOrientationResult bo =
-      balanced_orientation(g, parts, eta, op, ledger, num_threads, pool);
+      balanced_orientation(g, parts, eta, op, ledger, num_threads, pool,
+                           cancel);
 
   Defective2ECResult res;
   res.phases = bo.phases;

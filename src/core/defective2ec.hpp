@@ -51,7 +51,8 @@ Defective2ECResult defective_2_edge_coloring(const Graph& g,
                                              ParamMode mode = ParamMode::kPractical,
                                              RoundLedger* ledger = nullptr,
                                              int num_threads = 1,
-                                             NetworkPool* pool = nullptr);
+                                             NetworkPool* pool = nullptr,
+                                             CancelToken* cancel = nullptr);
 
 /// Audit: per-edge same-color neighbor counts against Definition 5.1.
 /// Returns the maximum additive overshoot

@@ -28,55 +28,56 @@ const Digraph& digraph_of(const SolverRequest& req) {
 }
 
 SolverResult run_congest(const SolverRequest& req, int num_threads,
-                         NetworkPool* pool) {
+                         NetworkPool* pool, CancelToken* cancel) {
   const auto& job = job_of<CongestColoringJob>(req);
   SolverResult out;
   out.solver = req.solver;
   out.output = congest_edge_coloring(graph_of(req), job.eps, job.mode,
-                                     &out.ledger, num_threads, pool);
+                                     &out.ledger, num_threads, pool, cancel);
   return out;
 }
 
 SolverResult run_bipartite(const SolverRequest& req, int num_threads,
-                           NetworkPool* pool) {
+                           NetworkPool* pool, CancelToken* cancel) {
   const auto& job = job_of<BipartiteColoringJob>(req);
   SolverResult out;
   out.solver = req.solver;
   out.output =
       bipartite_edge_coloring(graph_of(req), job.parts, job.eps, job.mode,
-                              &out.ledger, num_threads, pool);
+                              &out.ledger, num_threads, pool, cancel);
   return out;
 }
 
 SolverResult run_orientation(const SolverRequest& req, int num_threads,
-                             NetworkPool* pool) {
+                             NetworkPool* pool, CancelToken* cancel) {
   const auto& job = job_of<BalancedOrientationJob>(req);
   SolverResult out;
   out.solver = req.solver;
   out.output =
       balanced_orientation(graph_of(req), job.parts, job.eta, job.params,
-                           &out.ledger, num_threads, pool);
+                           &out.ledger, num_threads, pool, cancel);
   return out;
 }
 
 SolverResult run_defective2ec(const SolverRequest& req, int num_threads,
-                              NetworkPool* pool) {
+                              NetworkPool* pool, CancelToken* cancel) {
   const auto& job = job_of<Defective2ECJob>(req);
   SolverResult out;
   out.solver = req.solver;
   out.output = defective_2_edge_coloring(graph_of(req), job.parts, job.lambda,
                                          job.eps, job.mode, &out.ledger,
-                                         num_threads, pool);
+                                         num_threads, pool, cancel);
   return out;
 }
 
 SolverResult run_token_dropping_job(const SolverRequest& req, int num_threads,
-                                    NetworkPool* pool) {
+                                    NetworkPool* pool, CancelToken* cancel) {
   const auto& job = job_of<TokenDroppingJob>(req);
   SolverResult out;
   out.solver = req.solver;
   out.output = run_token_dropping(digraph_of(req), job.initial_tokens,
-                                  job.params, &out.ledger, num_threads, pool);
+                                  job.params, &out.ledger, num_threads, pool,
+                                  cancel);
   return out;
 }
 
@@ -93,6 +94,26 @@ const std::vector<SolverEntry>& solver_registry() {
   return kRegistry;
 }
 
+const char* to_string(SolverStatus status) {
+  switch (status) {
+    case SolverStatus::kOk: return "ok";
+    case SolverStatus::kCancelled: return "cancelled";
+    case SolverStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case SolverStatus::kRejected: return "rejected";
+    case SolverStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
 bool solver_registered(const std::string& id) {
   for (const SolverEntry& e : solver_registry()) {
     if (id == e.id) return true;
@@ -101,9 +122,9 @@ bool solver_registered(const std::string& id) {
 }
 
 SolverResult execute_request(const SolverRequest& req, int num_threads,
-                             NetworkPool* pool) {
+                             NetworkPool* pool, CancelToken* cancel) {
   for (const SolverEntry& e : solver_registry()) {
-    if (req.solver == e.id) return e.execute(req, num_threads, pool);
+    if (req.solver == e.id) return e.execute(req, num_threads, pool, cancel);
   }
   DEC_REQUIRE(false, "unknown solver id: " + req.solver);
   // Unreachable; DEC_REQUIRE(false, ...) always throws.

@@ -94,19 +94,47 @@ using SolverOutput =
                  BalancedOrientationResult, Defective2ECResult,
                  TokenDroppingResult>;
 
+/// How a job ended. Carried in SolverResult so service tenants never need
+/// exception-sniffing on a future: every submitted job's future is
+/// satisfied with a value, and this field says what happened.
+enum class SolverStatus : int {
+  kOk = 0,                // output and ledger are the solver's result
+  kCancelled,             // cancel() / CancelToken::request_cancel
+  kDeadlineExceeded,      // wall-clock deadline or round budget expired
+  kRejected,              // never admitted or never run (see reject)
+  kFailed,                // solver threw; `error` holds what()
+};
+
+/// Why a job was rejected (meaningful only when status == kRejected).
+enum class RejectReason : int {
+  kNone = 0,
+  kQueueFull,      // try_submit on a full queue
+  kShuttingDown,   // submitted to (or still queued in) a stopping service
+};
+
+const char* to_string(SolverStatus status);
+const char* to_string(RejectReason reason);
+
 /// Full per-job result: the solver's own result struct plus the job's round
 /// ledger (per-component breakdown — part of the bit-identity contract).
+/// `output`/`ledger` are meaningful only when status == kOk; direct
+/// execute_request() calls either return kOk or throw (the structured
+/// statuses are produced by the SolverService's failure handling).
 struct SolverResult {
   std::string solver;
   SolverOutput output;
   RoundLedger ledger;
+  SolverStatus status = SolverStatus::kOk;
+  RejectReason reject = RejectReason::kNone;
+  std::string error;  // what() of the failing exception (kFailed only)
+  int attempts = 1;   // execution attempts (> 1 after service retries)
 };
 
 /// One registry row: the id and the type-erased executor.
 struct SolverEntry {
   const char* id;
   SolverResult (*execute)(const SolverRequest&, int num_threads,
-                          NetworkPool* pool);
+                          NetworkPool* pool, CancelToken* cancel);
 };
 
 /// All registered solvers, in registration order.
@@ -118,9 +146,12 @@ bool solver_registered(const std::string& id);
 /// Execute a request: look up `req.solver`, validate that the params
 /// variant and input pointer match it (DEC_REQUIRE), run the solver with
 /// `num_threads` round-engine shards leasing from `pool` (null = fresh
-/// networks). Bit-identical to the direct solver call.
+/// networks). Bit-identical to the direct solver call. `cancel` (optional)
+/// is the cooperative cancellation token handed to the solver's round
+/// barriers; a tripped token propagates as SolverAborted.
 SolverResult execute_request(const SolverRequest& req, int num_threads = 1,
-                             NetworkPool* pool = nullptr);
+                             NetworkPool* pool = nullptr,
+                             CancelToken* cancel = nullptr);
 
 // Convenience builders (tenants usually have the typed inputs in hand).
 SolverRequest make_congest_request(std::shared_ptr<const Graph> g,

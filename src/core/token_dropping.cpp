@@ -41,7 +41,7 @@ bool sender_less(std::int64_t deg_a, std::int64_t alpha_a, NodeId node_a,
 TokenDroppingResult token_dropping_message_passing(
     const Digraph& game, std::vector<int> x0, int k, int delta,
     const std::vector<int>& alpha, RoundLedger* ledger, int num_threads,
-    NetworkPool* pool) {
+    NetworkPool* pool, CancelToken* cancel) {
   const NodeId n = game.num_nodes();
   TokenDroppingResult res;
 
@@ -52,7 +52,8 @@ TokenDroppingResult token_dropping_message_passing(
   std::vector<char> passive(static_cast<std::size_t>(game.num_arcs()), 0);
   std::vector<std::int64_t> moved(static_cast<std::size_t>(n), 0);
 
-  ScopedDiNetwork net_scope(pool, game, ledger, "token_dropping", num_threads);
+  ScopedDiNetwork net_scope(pool, game, ledger, "token_dropping", num_threads,
+                            cancel);
   DiNetwork& net = *net_scope;
 
   // Receive-side half of a transfer: the accept that was in flight arrives
@@ -191,7 +192,8 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
                                        std::vector<int> initial_tokens,
                                        const TokenDroppingParams& params,
                                        RoundLedger* ledger, int num_threads,
-                                       NetworkPool* pool) {
+                                       NetworkPool* pool,
+                                       CancelToken* cancel) {
   const NodeId n = game.num_nodes();
   const int k = params.k;
   const int delta = params.delta;
@@ -218,7 +220,7 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
 
   TokenDroppingResult res = token_dropping_message_passing(
       game, std::move(initial_tokens), k, delta, alpha, ledger, num_threads,
-      pool);
+      pool, cancel);
 
   const std::int64_t total_after =
       std::accumulate(res.tokens.begin(), res.tokens.end(), std::int64_t{0});

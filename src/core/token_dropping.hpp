@@ -35,6 +35,7 @@
 
 namespace dec {
 
+class CancelToken;
 class NetworkPool;
 
 struct TokenDroppingParams {
@@ -65,7 +66,8 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
                                        const TokenDroppingParams& params,
                                        RoundLedger* ledger = nullptr,
                                        int num_threads = 1,
-                                       NetworkPool* pool = nullptr);
+                                       NetworkPool* pool = nullptr,
+                                       CancelToken* cancel = nullptr);
 
 /// Theorem 4.3's slack bound for arc (u, v) of `game` under `params`.
 double theorem_4_3_bound(const Digraph& game, const TokenDroppingParams& params,

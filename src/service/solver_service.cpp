@@ -1,62 +1,100 @@
 #include "service/solver_service.hpp"
 
-#include <optional>
+#include <new>
+#include <utility>
 
 #include "sim/pool.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/check.hpp"
 
 namespace dec {
 
 SolverService::SolverService(ServiceConfig cfg)
     : cfg_(cfg), shared_pool_(cfg.engine_threads) {
-  DEC_REQUIRE(cfg_.workers >= 1, "service needs at least one worker");
+  DEC_REQUIRE(cfg_.workers >= 0, "worker count must be non-negative");
   DEC_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be positive");
+  DEC_REQUIRE(cfg_.watchdog_period.count() > 0,
+              "watchdog period must be positive");
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_main(); });
   }
+  watchdog_ = std::thread([this] { watchdog_main(); });
 }
 
 SolverService::~SolverService() { shutdown(); }
 
-bool SolverService::enqueue(Job job, bool blocking) {
+JobTicket SolverService::admit(SolverRequest req, SubmitOptions opts,
+                               bool blocking) {
+  DEC_REQUIRE(solver_registered(req.solver),
+              "submit: unknown solver id: " + req.solver);
+  auto job = std::make_shared<JobState>();
+  job->req = std::move(req);
+  job->opts = opts;
+  JobTicket ticket;
+  ticket.result = job->promise.get_future();
+
+  RejectReason reject = RejectReason::kNone;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (blocking) {
       cv_not_full_.wait(lock, [this] {
         return stopping_ || queue_.size() < cfg_.queue_capacity;
       });
-      DEC_REQUIRE(!stopping_, "submit after shutdown");
-    } else if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
-      return false;
     }
-    job.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(job));
-    ++submitted_;
+    if (stopping_) {
+      reject = RejectReason::kShuttingDown;
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      reject = RejectReason::kQueueFull;  // non-blocking path only
+    } else {
+      job->id = next_id_++;
+      job->enqueued = std::chrono::steady_clock::now();
+      if (opts.deadline.count() > 0) {
+        job->deadline = job->enqueued + opts.deadline;
+        job->has_deadline = true;
+        job->token.set_deadline(job->deadline);
+      }
+      if (opts.round_budget > 0) {
+        job->token.set_round_budget(opts.round_budget);
+      }
+      queue_.push_back(job);
+      live_.emplace(job->id, job);
+      ++submitted_;
+    }
+    if (reject != RejectReason::kNone) ++rejected_;
+  }
+
+  if (reject != RejectReason::kNone) {
+    // Reject without queueing: the ticket's future is satisfied here, so
+    // tenants can treat every future uniformly.
+    SolverResult result;
+    result.solver = job->req.solver;
+    result.status = SolverStatus::kRejected;
+    result.reject = reject;
+    result.attempts = 0;
+    job->promise.set_value(std::move(result));
+    ticket.reject = reject;
+    return ticket;
   }
   cv_not_empty_.notify_one();
-  return true;
+  ticket.id = job->id;
+  ticket.accepted = true;
+  return ticket;
 }
 
-std::future<SolverResult> SolverService::submit(SolverRequest req) {
-  DEC_REQUIRE(solver_registered(req.solver),
-              "submit: unknown solver id: " + req.solver);
-  Job job;
-  job.req = std::move(req);
-  std::future<SolverResult> fut = job.promise.get_future();
-  enqueue(std::move(job), /*blocking=*/true);
-  return fut;
+JobTicket SolverService::submit(SolverRequest req, SubmitOptions opts) {
+  return admit(std::move(req), opts, /*blocking=*/true);
 }
 
-bool SolverService::try_submit(SolverRequest req,
-                               std::future<SolverResult>* out) {
-  DEC_REQUIRE(solver_registered(req.solver),
-              "try_submit: unknown solver id: " + req.solver);
-  Job job;
-  job.req = std::move(req);
-  std::future<SolverResult> fut = job.promise.get_future();
-  if (!enqueue(std::move(job), /*blocking=*/false)) return false;
-  if (out != nullptr) *out = std::move(fut);
+JobTicket SolverService::try_submit(SolverRequest req, SubmitOptions opts) {
+  return admit(std::move(req), opts, /*blocking=*/false);
+}
+
+bool SolverService::cancel(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->token.request_cancel(AbortReason::kCancelled);
   return true;
 }
 
@@ -68,15 +106,49 @@ void SolverService::drain() {
 void SolverService::shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
+    if (stopping_ && workers_.empty() && !watchdog_.joinable()) return;
     stopping_ = true;
   }
+  // Wake blocked submitters (they resolve their tickets as
+  // Rejected{kShuttingDown}), idle workers, and the watchdog.
   cv_not_empty_.notify_all();
   cv_not_full_.notify_all();
+  cv_watchdog_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+
+  // Whatever the workers could not drain (only possible with zero
+  // workers) resolves here: cancelled/expired jobs with their own status,
+  // the rest as Rejected{kShuttingDown}.
+  std::deque<std::shared_ptr<JobState>> leftovers;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (const std::shared_ptr<JobState>& job : leftovers) {
+    SolverResult result;
+    if (job->token.aborted()) {
+      result = aborted_result(*job, job->token.reason(), /*attempts=*/0);
+    } else {
+      result.solver = job->req.solver;
+      result.status = SolverStatus::kRejected;
+      result.reject = RejectReason::kShuttingDown;
+      result.attempts = 0;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      count_status(result);
+      live_.erase(job->id);
+    }
+    job->promise.set_value(std::move(result));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+  }
 }
 
 ServiceStats SolverService::stats() const {
@@ -86,6 +158,12 @@ ServiceStats SolverService::stats() const {
     s.submitted = submitted_;
     s.completed = completed_;
     s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.deadline_exceeded = deadline_exceeded_;
+    s.rejected = rejected_;
+    s.retried = retried_;
+    s.queued = queue_.size();
+    s.running = static_cast<std::size_t>(in_flight_);
     // Averaged over jobs whose wait has been recorded (worker pickup), not
     // over finished jobs — a picked-up-but-running job's wait must not be
     // spread over a smaller denominator.
@@ -106,13 +184,88 @@ ServiceStats SolverService::stats() const {
   return s;
 }
 
+SolverResult SolverService::aborted_result(const JobState& job,
+                                           AbortReason reason,
+                                           int attempts) const {
+  SolverResult result;
+  result.solver = job.req.solver;
+  result.status = reason == AbortReason::kDeadlineExceeded
+                      ? SolverStatus::kDeadlineExceeded
+                      : SolverStatus::kCancelled;
+  result.attempts = attempts;
+  return result;
+}
+
+void SolverService::count_status(const SolverResult& result) {
+  switch (result.status) {
+    case SolverStatus::kOk:
+      ++completed_;
+      break;
+    case SolverStatus::kFailed:
+      ++failed_;
+      break;
+    case SolverStatus::kCancelled:
+      ++cancelled_;
+      break;
+    case SolverStatus::kDeadlineExceeded:
+      ++deadline_exceeded_;
+      break;
+    case SolverStatus::kRejected:
+      ++rejected_;
+      break;
+  }
+  if (result.attempts > 1) retried_ += result.attempts - 1;
+}
+
+SolverResult SolverService::run_job(JobState& job, NetworkPool& view) {
+  int attempts = 0;
+  for (;;) {
+    // Pre-flight: a job cancelled or expired while it sat in the queue (or
+    // between retry attempts) resolves without running a solver. Checked
+    // without consuming round budget — the budget counts barriers only.
+    if (!job.token.aborted() && job.has_deadline &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      job.token.request_cancel(AbortReason::kDeadlineExceeded);
+    }
+    if (job.token.aborted()) {
+      return aborted_result(job, job.token.reason(), attempts);
+    }
+    ++attempts;
+    try {
+      DEC_FAULT_POINT_CTX("service.worker", &job.token);
+      SolverResult result =
+          execute_request(job.req, cfg_.engine_threads, &view, &job.token);
+      result.attempts = attempts;
+      return result;
+    } catch (const SolverAborted& aborted) {
+      return aborted_result(job, aborted.reason(), attempts);
+    } catch (const std::exception& e) {
+      // Transient failures (injected chaos, allocation pressure) retry on
+      // a freshly reset lease; everything else is permanent. The what()
+      // string — not the exception — travels to the tenant.
+      const bool transient =
+          dynamic_cast<const TransientError*>(&e) != nullptr ||
+          dynamic_cast<const std::bad_alloc*>(&e) != nullptr;
+      if (!transient || attempts > job.opts.max_retries) {
+        SolverResult result;
+        result.solver = job.req.solver;
+        result.status = SolverStatus::kFailed;
+        result.error = e.what();
+        result.attempts = attempts;
+        return result;
+      }
+      std::this_thread::sleep_for(job.opts.retry_backoff * attempts);
+    }
+  }
+}
+
 void SolverService::worker_main() {
   // The worker's thread-confined view over the shared arena: run states it
   // acquires stay warm across this worker's jobs and park for other tenants
   // when the service shuts down.
   NetworkPool view(shared_pool_);
   for (;;) {
-    Job job;
+    std::shared_ptr<JobState> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_not_empty_.wait(lock,
@@ -121,7 +274,7 @@ void SolverService::worker_main() {
       job = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
-      const auto waited = std::chrono::steady_clock::now() - job.enqueued;
+      const auto waited = std::chrono::steady_clock::now() - job->enqueued;
       const auto ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
               .count();
@@ -131,30 +284,41 @@ void SolverService::worker_main() {
     }
     cv_not_full_.notify_one();
 
-    std::optional<SolverResult> result;
-    std::exception_ptr error;
-    try {
-      result = execute_request(job.req, cfg_.engine_threads, &view);
-    } catch (...) {
-      error = std::current_exception();
-    }
+    SolverResult result = run_job(*job, view);
     // Count the job before satisfying its future (a tenant reading stats()
     // right after future.get() must see it), but keep it in flight until
     // the future is satisfied (drain() returning must imply every future
     // is ready).
     {
       std::unique_lock<std::mutex> lock(mu_);
-      (result.has_value() ? completed_ : failed_) += 1;
+      count_status(result);
     }
-    if (result.has_value()) {
-      job.promise.set_value(std::move(*result));
-    } else {
-      job.promise.set_exception(error);
-    }
+    job->promise.set_value(std::move(result));
     {
       std::unique_lock<std::mutex> lock(mu_);
+      live_.erase(job->id);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void SolverService::watchdog_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_watchdog_.wait_for(lock, cfg_.watchdog_period,
+                          [this] { return stopping_; });
+    if (stopping_) return;  // drain relies on barrier/pre-flight checks
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& [id, job] : live_) {
+      if (job->has_deadline && now >= job->deadline) {
+        // Cooperative: the running solver observes the trip at its next
+        // round barrier; a queued job resolves at pickup. This sweep is
+        // what catches jobs sleeping *between* barriers (e.g. under
+        // injected latency), where the barrier's own deadline check
+        // cannot run.
+        job->token.request_cancel(AbortReason::kDeadlineExceeded);
+      }
     }
   }
 }

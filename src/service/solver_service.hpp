@@ -1,7 +1,7 @@
 // SolverService: a multi-tenant solver front end over one shared arena.
 //
 // The service owns a bounded job queue and a set of worker threads. Tenants
-// submit SolverRequests (core/solver_registry.hpp) and get std::futures;
+// submit SolverRequests (core/solver_registry.hpp) and get JobTickets;
 // workers pop jobs and execute them through the registry. What makes this
 // more than a generic thread pool is what the workers share:
 //
@@ -20,14 +20,35 @@
 // Execution through the service is bit-identical to calling the solver
 // directly with a fresh pool — outputs, audited rounds, and per-component
 // ledger breakdowns (tests/test_solver_service.cpp pins this under TSan).
-// The service adds observability on top: per-job queue-wait times and
-// shared-arena counters (plans built vs shared, run states parked) surface
-// through stats().
+//
+// Failure model (docs/ARCHITECTURE.md § Failure model). Every admitted
+// job's future is satisfied with a SolverResult value — never an exception
+// — whose `status` is the outcome taxonomy:
+//
+//  * kOk: the solver's result, bit-identical to a direct call (even when
+//    the run was retried: each attempt starts on a freshly reset lease).
+//  * kCancelled: cancel(id) — or the job's CancelToken — tripped; the
+//    solver unwound at the next round barrier and its leases parked clean.
+//  * kDeadlineExceeded: SubmitOptions::deadline (wall clock, enforced both
+//    at round barriers and by the service watchdog) or ::round_budget (a
+//    deterministic barrier-count deadline) expired. Cooperative: a job is
+//    interrupted at round granularity, and an expired queued job is
+//    resolved without ever running.
+//  * kRejected: never admitted (try_submit on a full queue, any submit
+//    after shutdown) or still queued when the service stopped;
+//    SolverResult::reject says which. submit() blocked on a full queue
+//    wakes with a Rejected{kShuttingDown} ticket on shutdown — it never
+//    deadlocks and never enqueues past shutdown.
+//  * kFailed: the solver threw; `error` carries what(). TransientError and
+//    std::bad_alloc are retried up to SubmitOptions::max_retries times
+//    (with linear backoff) before the failure is surfaced; any other
+//    exception is permanent on the first throw.
 //
 // Lifecycle: submit() blocks while the queue is full (backpressure);
-// shutdown() stops intake, drains every queued job, and joins the workers;
-// the destructor calls shutdown(). A submitted job always gets its future
-// satisfied — with the result, or with the solver's exception.
+// shutdown() stops intake, lets the workers drain every queued job (each
+// resolves with its own status — a cancelled queued job still reports
+// kCancelled), and joins workers and watchdog; the destructor calls
+// shutdown().
 #pragma once
 
 #include <chrono>
@@ -35,17 +56,22 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/solver_registry.hpp"
+#include "sim/cancel.hpp"
 #include "sim/shared_pool.hpp"
 
 namespace dec {
 
 struct ServiceConfig {
-  /// Worker threads executing jobs concurrently (>= 1).
+  /// Worker threads executing jobs concurrently (>= 0; 0 means jobs are
+  /// admitted but never run — only useful to tests that need a
+  /// deterministically full queue).
   int workers = 2;
   /// Jobs the queue holds before submit() blocks (>= 1).
   std::size_t queue_capacity = 64;
@@ -53,12 +79,23 @@ struct ServiceConfig {
   /// engine, 0 = hardware concurrency). Results are bit-identical across
   /// engine shard counts; the default keeps jobs the unit of parallelism.
   int engine_threads = 1;
+  /// How often the watchdog sweeps live jobs for expired deadlines. The
+  /// round barrier usually notices first; the watchdog covers jobs
+  /// sleeping between barriers (e.g. under injected latency).
+  std::chrono::milliseconds watchdog_period{5};
 };
 
 struct ServiceStats {
-  std::int64_t submitted = 0;
-  std::int64_t completed = 0;  // futures satisfied with a result
-  std::int64_t failed = 0;     // futures satisfied with an exception
+  std::int64_t submitted = 0;  // admitted jobs (rejections not included)
+  std::int64_t completed = 0;  // futures satisfied with status kOk
+  std::int64_t failed = 0;     // status kFailed
+  std::int64_t cancelled = 0;  // status kCancelled
+  std::int64_t deadline_exceeded = 0;  // status kDeadlineExceeded
+  std::int64_t rejected = 0;   // tickets/futures resolved kRejected
+  std::int64_t retried = 0;    // transient-failure re-runs (attempts - 1)
+  // Queue occupancy at the instant of the snapshot.
+  std::size_t queued = 0;
+  std::size_t running = 0;
   // Shared-arena counters (global across the service's tenants).
   std::int64_t plans_built = 0;   // topology cache misses
   std::int64_t plans_shared = 0;  // topology cache hits
@@ -70,6 +107,37 @@ struct ServiceStats {
   double max_queue_wait_ms = 0.0;
 };
 
+/// Service-assigned job identity; 0 is never assigned (rejected tickets
+/// carry 0).
+using JobId = std::uint64_t;
+
+/// Per-job failure-handling knobs. Everything defaults to off: no
+/// deadline, no round budget, no retries.
+struct SubmitOptions {
+  /// Wall-clock deadline, measured from admission; zero = none.
+  std::chrono::nanoseconds deadline{0};
+  /// Deterministic deadline: abort at the (round_budget + 1)-th round
+  /// barrier; zero = none. Reports as kDeadlineExceeded.
+  std::int64_t round_budget = 0;
+  /// Re-runs allowed after a transient failure (TransientError /
+  /// std::bad_alloc). Each re-run starts from a clean lease.
+  int max_retries = 0;
+  /// Backoff before retry i is backoff * i (linear).
+  std::chrono::nanoseconds retry_backoff{std::chrono::milliseconds(1)};
+};
+
+/// What a tenant holds after submit()/try_submit(). The future is always
+/// valid and always eventually satisfied with a SolverResult value (check
+/// .status — no exception-sniffing). For rejected submissions `accepted` is
+/// false, `reject` says why, and the future is already satisfied with a
+/// kRejected result.
+struct JobTicket {
+  JobId id = 0;  // 0 when never admitted
+  bool accepted = false;
+  RejectReason reject = RejectReason::kNone;
+  std::future<SolverResult> result;
+};
+
 class SolverService {
  public:
   explicit SolverService(ServiceConfig cfg = {});
@@ -78,20 +146,29 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
-  /// Queue a job; blocks while the queue is full, throws CheckError after
-  /// shutdown. The future carries the SolverResult or the solver's
-  /// exception. Callable from any thread.
-  std::future<SolverResult> submit(SolverRequest req);
+  /// Queue a job; blocks while the queue is full. Returns a rejected
+  /// ticket (never throws, never deadlocks) when the service is shutting
+  /// down — including when shutdown() arrives while this call is blocked
+  /// waiting for space. Callable from any thread.
+  JobTicket submit(SolverRequest req, SubmitOptions opts = {});
 
-  /// Non-blocking submit: false (and no job queued) when the queue is full
-  /// or the service is shut down.
-  bool try_submit(SolverRequest req, std::future<SolverResult>* out);
+  /// Non-blocking admission control: a Rejected{kQueueFull} ticket when the
+  /// queue is full, Rejected{kShuttingDown} after shutdown — the job is
+  /// not queued in either case.
+  JobTicket try_submit(SolverRequest req, SubmitOptions opts = {});
+
+  /// Request cooperative cancellation of a live (queued or running) job.
+  /// Returns true when the job was live — its future will resolve with
+  /// kCancelled (or whatever terminal state won the race). False when the
+  /// id is unknown or already resolved.
+  bool cancel(JobId id);
 
   /// Block until every job submitted so far has been executed.
   void drain();
 
-  /// Stop intake, drain the queue, join the workers. Idempotent; implied by
-  /// destruction.
+  /// Stop intake, drain the queue, join workers and watchdog. Idempotent;
+  /// implied by destruction. Queued jobs still resolve (a service with
+  /// zero workers resolves them as Rejected{kShuttingDown}).
   void shutdown();
 
   ServiceStats stats() const;
@@ -102,13 +179,38 @@ class SolverService {
   const ServiceConfig& config() const { return cfg_; }
 
  private:
-  struct Job {
+  /// One admitted job. Shared between the queue/worker, the live-job index
+  /// (cancel/watchdog), and nothing else; the promise is satisfied exactly
+  /// once, by the worker that popped it or by shutdown's leftover sweep.
+  struct JobState {
+    JobId id = 0;
     SolverRequest req;
+    SubmitOptions opts;
     std::promise<SolverResult> promise;
+    CancelToken token;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // valid iff has_deadline
+    bool has_deadline = false;
   };
 
   void worker_main();
+  void watchdog_main();
+
+  /// Admission: price the ticket under the lock. Returns an accepted
+  /// ticket with the job queued, or a rejected ticket (promise already
+  /// satisfied) without side effects on the queue.
+  JobTicket admit(SolverRequest req, SubmitOptions opts, bool blocking);
+
+  /// Run one job to a terminal SolverResult (never throws): cancel/deadline
+  /// checks, the solver itself, and the bounded transient-retry loop.
+  SolverResult run_job(JobState& job, NetworkPool& view);
+
+  /// Terminal result for a tripped token / SolverAborted unwind.
+  SolverResult aborted_result(const JobState& job, AbortReason reason,
+                              int attempts) const;
+
+  /// Count a terminal status into the stats counters (mu_ held).
+  void count_status(const SolverResult& result);
 
   ServiceConfig cfg_;
   SharedNetworkPool shared_pool_;
@@ -117,25 +219,29 @@ class SolverService {
   std::condition_variable cv_not_empty_;
   std::condition_variable cv_not_full_;
   std::condition_variable cv_idle_;  // queue empty and no job in flight
-  std::deque<Job> queue_;
+  std::condition_variable cv_watchdog_;
+  std::deque<std::shared_ptr<JobState>> queue_;
+  /// Queued + running jobs by id (cancel() and the watchdog resolve
+  /// targets here); erased once the future is satisfied.
+  std::unordered_map<JobId, std::shared_ptr<JobState>> live_;
+  JobId next_id_ = 1;
   int in_flight_ = 0;
   bool stopping_ = false;
-
-  /// Shared enqueue path for submit()/try_submit(): waits for space when
-  /// `blocking`, else fails on a full queue. Returns false only in the
-  /// non-blocking full-queue/stopped case; throws on submit-after-shutdown
-  /// when blocking.
-  bool enqueue(Job job, bool blocking);
 
   // Guarded by mu_ (stats() snapshots under the lock).
   std::int64_t submitted_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t failed_ = 0;
+  std::int64_t cancelled_ = 0;
+  std::int64_t deadline_exceeded_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t retried_ = 0;
   std::int64_t waited_jobs_ = 0;  // jobs whose queue wait has been recorded
   std::int64_t wait_ns_total_ = 0;
   std::int64_t wait_ns_max_ = 0;
 
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace dec

@@ -154,6 +154,11 @@ class DiNetwork {
     });
   }
 
+  /// Cancellation token, forwarded to the support network's round barrier
+  /// (see SyncNetwork::set_cancel — same granularity, same guarantees).
+  void set_cancel(CancelToken* cancel) { net_.set_cancel(cancel); }
+  CancelToken* cancel() const { return net_.cancel(); }
+
   std::int64_t rounds_executed() const { return net_.rounds_executed(); }
   const CongestAudit& audit() const { return net_.audit(); }
   const Digraph& digraph() const { return *dg_; }

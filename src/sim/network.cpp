@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "testing/fault_injection.hpp"
+
 namespace dec {
 
 SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
@@ -111,6 +113,12 @@ void SyncNetwork::rebind(const Graph& g,
 }
 
 void SyncNetwork::begin_round() {
+  // Cancellation barrier: checked before any round state is touched, so an
+  // abort here needs no rollback — the network still sits at its exact
+  // post-last-round state. The fault point shares the barrier (throw at
+  // round k, inject latency, trip the job's own token mid-phase).
+  if (cancel_ != nullptr) cancel_->check();
+  DEC_FAULT_POINT_CTX("network.round", cancel_);
   ++epoch_;
   // The buffer about to be written was the inbox two rounds ago; its spill
   // arenas can be rewound now that that round's reads are long done. Stale

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/cancel.hpp"
 #include "sim/ledger.hpp"
 #include "sim/message.hpp"
 #include "sim/slab.hpp"
@@ -234,6 +235,15 @@ class SyncNetwork {
     }
   }
 
+  /// Install (or clear, with null) the cooperative cancellation token.
+  /// Checked once per round at the barrier (top of begin_round, before any
+  /// round state is touched): a tripped token throws SolverAborted and
+  /// leaves the network in its exact post-last-round state — the previous
+  /// round's delivery still readable, no abort_round needed. The token must
+  /// outlive its installation; pooled leases clear it on release.
+  void set_cancel(CancelToken* cancel) { cancel_ = cancel; }
+  CancelToken* cancel() const { return cancel_; }
+
   /// Rounds executed so far on this network (since construction or the last
   /// reset()/rebind()).
   std::int64_t rounds_executed() const { return rounds_; }
@@ -294,6 +304,7 @@ class SyncNetwork {
 
   RoundLedger* ledger_ = nullptr;
   std::optional<RoundLedger::Counter> counter_;  // cached ledger slot
+  CancelToken* cancel_ = nullptr;  // not owned; null = no cancellation
   std::int64_t rounds_ = 0;
   CongestAudit audit_;
   // Write epoch of the round in progress. Monotonic across reset()/rebind()

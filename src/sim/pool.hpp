@@ -179,10 +179,15 @@ class NetworkPool {
                      std::shared_ptr<const Topo> topo, RoundLedger* ledger,
                      std::string component);
 
-  void release_slot(SyncNetwork*, std::size_t index) {
+  // Releasing clears any installed cancel token: the token belongs to the
+  // job that leased the state and may die with it, while the run state
+  // lives on in the arena.
+  void release_slot(SyncNetwork* net, std::size_t index) {
+    net->set_cancel(nullptr);
     nets_[index].busy = false;
   }
-  void release_slot(DiNetwork*, std::size_t index) {
+  void release_slot(DiNetwork* net, std::size_t index) {
+    net->set_cancel(nullptr);
     dinets_[index].busy = false;
   }
 
@@ -203,8 +208,13 @@ class NetworkPool {
 /// solvers' documented engine contract, so a mismatch is an error instead.
 class ScopedNetwork {
  public:
+  /// `cancel` (optional) is installed on the scoped network for the
+  /// lifetime of the scope — the round barrier the solvers' cooperative
+  /// cancellation hangs off (SyncNetwork::set_cancel). Lease release clears
+  /// it, so a pooled run state never outlives the token it watched.
   ScopedNetwork(NetworkPool* pool, const Graph& g, RoundLedger* ledger,
-                std::string component, int num_threads) {
+                std::string component, int num_threads,
+                CancelToken* cancel = nullptr) {
     num_threads = resolve_num_threads(num_threads);
     if (pool != nullptr) {
       DEC_REQUIRE(pool->num_threads() == num_threads,
@@ -213,6 +223,7 @@ class ScopedNetwork {
     } else {
       local_.emplace(g, ledger, std::move(component), num_threads);
     }
+    (*this)->set_cancel(cancel);
   }
   SyncNetwork& operator*() { return lease_ ? *lease_ : *local_; }
   SyncNetwork* operator->() { return &**this; }
@@ -225,7 +236,8 @@ class ScopedNetwork {
 class ScopedDiNetwork {
  public:
   ScopedDiNetwork(NetworkPool* pool, const Digraph& dg, RoundLedger* ledger,
-                  std::string component, int num_threads) {
+                  std::string component, int num_threads,
+                  CancelToken* cancel = nullptr) {
     num_threads = resolve_num_threads(num_threads);
     if (pool != nullptr) {
       DEC_REQUIRE(pool->num_threads() == num_threads,
@@ -234,6 +246,7 @@ class ScopedDiNetwork {
     } else {
       local_.emplace(dg, ledger, std::move(component), num_threads);
     }
+    (*this)->set_cancel(cancel);
   }
   DiNetwork& operator*() { return lease_ ? *lease_ : *local_; }
   DiNetwork* operator->() { return &**this; }

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "testing/fault_injection.hpp"
+
 namespace dec {
 
 std::int64_t* MessageSlab::allocate(std::size_t n) {
+  // Chaos hook: an armed kAllocFail plan throws std::bad_alloc from inside
+  // a running round, exercising abort_round on whichever shard spilled.
+  DEC_FAULT_POINT("slab.alloc");
   while (chunk_ < chunks_.size() && offset_ + n > chunks_[chunk_].size) {
     ++chunk_;
     offset_ = 0;

@@ -17,6 +17,16 @@ class CheckError : public std::runtime_error {
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure the thrower believes is worth retrying (resource pressure,
+/// injected chaos faults — see testing/fault_injection.hpp). The
+/// SolverService's bounded-retry policy re-runs jobs that fail with
+/// TransientError or std::bad_alloc; every other exception is permanent.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void check_failed(const char* kind, const char* cond,
                                const char* file, int line,

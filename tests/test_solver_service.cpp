@@ -271,13 +271,16 @@ TEST(SolverService, StressMixedJobsBitIdenticalToDirectCalls) {
   cfg.workers = 4;
   cfg.queue_capacity = 8;  // smaller than the batch: exercises backpressure
   SolverService service(cfg);
-  std::vector<std::future<SolverResult>> futures;
-  futures.reserve(reqs.size());
+  std::vector<JobTicket> tickets;
+  tickets.reserve(reqs.size());
   for (const SolverRequest& req : reqs) {
-    futures.push_back(service.submit(req));
+    tickets.push_back(service.submit(req));
   }
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    const SolverResult got = futures[i].get();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].accepted) << "job " << i;
+    const SolverResult got = tickets[i].result.get();
+    ASSERT_EQ(got.status, SolverStatus::kOk) << "job " << i;
+    EXPECT_EQ(got.attempts, 1) << "job " << i;
     expect_same_result(refs[i], got, static_cast<int>(i));
   }
 
@@ -294,51 +297,226 @@ TEST(SolverService, StressMixedJobsBitIdenticalToDirectCalls) {
   EXPECT_GE(stats.max_queue_wait_ms, stats.avg_queue_wait_ms);
 }
 
-TEST(SolverService, FailedJobsPropagateTheSolverException) {
+TEST(SolverService, FailedJobsCarryStatusAndErrorNotExceptions) {
   SolverService service({.workers = 1, .queue_capacity = 4});
   Rng rng(44);
   auto g = std::make_shared<const Graph>(gen::gnp(16, 0.2, rng));
-  // eps = 0 violates congest_edge_coloring's precondition.
-  auto bad = service.submit(make_congest_request(g, {0.0}));
-  EXPECT_THROW(bad.get(), CheckError);
-  auto good = service.submit(make_congest_request(g, {1.0}));
-  EXPECT_NO_THROW(good.get());
+  // eps = 0 violates congest_edge_coloring's precondition. The future is
+  // satisfied with a value — the failure is data, not an exception.
+  JobTicket bad = service.submit(make_congest_request(g, {0.0}));
+  ASSERT_TRUE(bad.accepted);
+  const SolverResult bad_result = bad.result.get();
+  EXPECT_EQ(bad_result.status, SolverStatus::kFailed);
+  EXPECT_FALSE(bad_result.error.empty());
+  EXPECT_EQ(bad_result.attempts, 1);  // CheckError is permanent, no retries
+  JobTicket good = service.submit(make_congest_request(g, {1.0}));
+  EXPECT_EQ(good.result.get().status, SolverStatus::kOk);
   service.drain();
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.failed, 1);
   EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.retried, 0);
 }
 
 TEST(SolverService, ShutdownDrainsAndRejectsLateSubmits) {
   Rng rng(45);
   auto g = std::make_shared<const Graph>(gen::gnp(20, 0.2, rng));
   SolverService service({.workers = 2, .queue_capacity = 16});
-  std::vector<std::future<SolverResult>> futures;
+  std::vector<JobTicket> tickets;
   for (int i = 0; i < 6; ++i) {
-    futures.push_back(service.submit(make_congest_request(g, {1.0})));
+    tickets.push_back(service.submit(make_congest_request(g, {1.0})));
   }
   service.shutdown();  // must satisfy every already-queued future
-  for (auto& f : futures) EXPECT_NO_THROW(f.get());
-  EXPECT_THROW(service.submit(make_congest_request(g, {1.0})), CheckError);
-  std::future<SolverResult> out;
-  EXPECT_FALSE(service.try_submit(make_congest_request(g, {1.0}), &out));
+  for (JobTicket& t : tickets) {
+    EXPECT_EQ(t.result.get().status, SolverStatus::kOk);
+  }
+  // Late submissions come back as structured rejections, not exceptions.
+  JobTicket late = service.submit(make_congest_request(g, {1.0}));
+  EXPECT_FALSE(late.accepted);
+  EXPECT_EQ(late.reject, RejectReason::kShuttingDown);
+  const SolverResult late_result = late.result.get();
+  EXPECT_EQ(late_result.status, SolverStatus::kRejected);
+  EXPECT_EQ(late_result.reject, RejectReason::kShuttingDown);
+  JobTicket late_try = service.try_submit(make_congest_request(g, {1.0}));
+  EXPECT_FALSE(late_try.accepted);
+  EXPECT_EQ(late_try.reject, RejectReason::kShuttingDown);
+  EXPECT_EQ(late_try.result.get().status, SolverStatus::kRejected);
 }
 
 TEST(SolverService, DrainWaitsForInFlightJobs) {
   Rng rng(46);
   auto g = std::make_shared<const Graph>(gen::gnp(30, 0.2, rng));
   SolverService service({.workers = 2, .queue_capacity = 32});
-  std::vector<std::future<SolverResult>> futures;
+  std::vector<JobTicket> tickets;
   for (int i = 0; i < 8; ++i) {
-    futures.push_back(service.submit(make_congest_request(g, {1.0})));
+    tickets.push_back(service.submit(make_congest_request(g, {1.0})));
   }
   service.drain();
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.completed + stats.failed, 8);
-  for (auto& f : futures) {
-    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+  for (JobTicket& t : tickets) {
+    EXPECT_EQ(t.result.wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
   }
+}
+
+// ------------------------------------------------------------ failure model
+
+TEST(SolverService, TrySubmitRejectsWhenQueueFull) {
+  // Zero workers: admitted jobs sit in the queue forever, so the queue
+  // fills deterministically.
+  Rng rng(50);
+  auto g = std::make_shared<const Graph>(gen::gnp(12, 0.2, rng));
+  SolverService service({.workers = 0, .queue_capacity = 2});
+  JobTicket a = service.try_submit(make_congest_request(g, {1.0}));
+  JobTicket b = service.try_submit(make_congest_request(g, {1.0}));
+  EXPECT_TRUE(a.accepted);
+  EXPECT_TRUE(b.accepted);
+  EXPECT_NE(a.id, b.id);
+  JobTicket full = service.try_submit(make_congest_request(g, {1.0}));
+  EXPECT_FALSE(full.accepted);
+  EXPECT_EQ(full.reject, RejectReason::kQueueFull);
+  const SolverResult full_result = full.result.get();
+  EXPECT_EQ(full_result.status, SolverStatus::kRejected);
+  EXPECT_EQ(full_result.reject, RejectReason::kQueueFull);
+  EXPECT_EQ(service.stats().rejected, 1);
+  service.shutdown();
+  // The two queued jobs resolve as Rejected{kShuttingDown}: admitted but
+  // never run.
+  EXPECT_EQ(a.result.get().reject, RejectReason::kShuttingDown);
+  EXPECT_EQ(b.result.get().reject, RejectReason::kShuttingDown);
+}
+
+TEST(SolverService, BlockedSubmitWakesRejectedOnShutdown) {
+  // Satellite: a submit() blocked on a full queue must wake and return a
+  // rejected ticket when shutdown() arrives — never deadlock, never enqueue
+  // past shutdown. Zero workers keeps the queue deterministically full.
+  Rng rng(51);
+  auto g = std::make_shared<const Graph>(gen::gnp(12, 0.2, rng));
+  SolverService service({.workers = 0, .queue_capacity = 1});
+  JobTicket first = service.submit(make_congest_request(g, {1.0}));
+  ASSERT_TRUE(first.accepted);
+
+  std::promise<void> blocked_entered;
+  JobTicket blocked;
+  std::thread submitter([&] {
+    blocked_entered.set_value();
+    blocked = service.submit(make_congest_request(g, {1.0}));  // queue full
+  });
+  blocked_entered.get_future().wait();
+  // Give the submitter time to actually block on the not-full cv.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.shutdown();
+  submitter.join();
+
+  EXPECT_FALSE(blocked.accepted);
+  EXPECT_EQ(blocked.reject, RejectReason::kShuttingDown);
+  EXPECT_EQ(blocked.result.get().status, SolverStatus::kRejected);
+  EXPECT_EQ(first.result.get().reject, RejectReason::kShuttingDown);
+  // Nothing was enqueued past shutdown.
+  EXPECT_EQ(service.stats().queued, 0u);
+  EXPECT_EQ(service.stats().submitted, 1);
+}
+
+TEST(SolverService, CancelQueuedJobResolvesCancelled) {
+  Rng rng(52);
+  auto g = std::make_shared<const Graph>(gen::gnp(12, 0.2, rng));
+  SolverService service({.workers = 0, .queue_capacity = 4});
+  JobTicket t = service.submit(make_congest_request(g, {1.0}));
+  ASSERT_TRUE(t.accepted);
+  EXPECT_TRUE(service.cancel(t.id));
+  EXPECT_FALSE(service.cancel(t.id + 999));  // unknown id
+  service.shutdown();
+  // Cancelled-while-queued beats the shutdown sweep's kRejected.
+  const SolverResult r = t.result.get();
+  EXPECT_EQ(r.status, SolverStatus::kCancelled);
+  EXPECT_EQ(r.attempts, 0);  // never ran
+  EXPECT_EQ(service.stats().cancelled, 1);
+}
+
+TEST(SolverService, CancelRunningJobStopsAtRoundBarrier) {
+  // A solver big enough to still be running when cancel() lands; if the
+  // race is lost and it finished, kOk is also a legal outcome — assert on
+  // whichever terminal state won, never a hang.
+  Rng rng(53);
+  auto g = std::make_shared<const Graph>(gen::gnp(220, 0.12, rng));
+  SolverService service({.workers = 1, .queue_capacity = 4});
+  JobTicket t = service.submit(make_congest_request(g, {0.25}));
+  ASSERT_TRUE(t.accepted);
+  service.cancel(t.id);
+  const SolverResult r = t.result.get();
+  EXPECT_TRUE(r.status == SolverStatus::kCancelled ||
+              r.status == SolverStatus::kOk)
+      << to_string(r.status);
+  service.drain();
+  EXPECT_EQ(service.stats().cancelled + service.stats().completed, 1);
+}
+
+TEST(SolverService, ExpiredDeadlineBeforePickupNeverRuns) {
+  // Deadline already expired when the worker picks the job up: the
+  // pre-flight check resolves it without running a solver. A queued job
+  // behind a long-running one guarantees the wait.
+  Rng rng(54);
+  auto big = std::make_shared<const Graph>(gen::gnp(200, 0.12, rng));
+  auto small = std::make_shared<const Graph>(gen::gnp(16, 0.2, rng));
+  SolverService service({.workers = 1, .queue_capacity = 8});
+  JobTicket head = service.submit(make_congest_request(big, {1.0}));
+  SubmitOptions opts;
+  opts.deadline = std::chrono::microseconds(1);  // expires immediately
+  JobTicket doomed = service.submit(make_congest_request(small, {1.0}), opts);
+  const SolverResult r = doomed.result.get();
+  EXPECT_EQ(r.status, SolverStatus::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts, 0);  // resolved before any attempt
+  EXPECT_EQ(head.result.get().status, SolverStatus::kOk);
+  service.drain();
+  EXPECT_EQ(service.stats().deadline_exceeded, 1);
+}
+
+TEST(SolverService, RoundBudgetIsADeterministicDeadline) {
+  Rng rng(55);
+  auto g = std::make_shared<const Graph>(gen::gnp(60, 0.15, rng));
+  // Reference: how many rounds does this job take un-budgeted?
+  const SolverResult free_run =
+      execute_request(make_congest_request(g, {1.0}));
+  ASSERT_EQ(free_run.status, SolverStatus::kOk);
+
+  SolverService service({.workers = 1, .queue_capacity = 4});
+  SubmitOptions opts;
+  opts.round_budget = 3;  // far fewer barriers than the solver needs
+  JobTicket t = service.submit(make_congest_request(g, {1.0}), opts);
+  const SolverResult r = t.result.get();
+  EXPECT_EQ(r.status, SolverStatus::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts, 1);
+  // A budget generous beyond the job's needs changes nothing.
+  SubmitOptions ample;
+  ample.round_budget = 1 << 20;
+  JobTicket ok = service.submit(make_congest_request(g, {1.0}), ample);
+  const SolverResult ok_result = ok.result.get();
+  ASSERT_EQ(ok_result.status, SolverStatus::kOk);
+  expect_same_result(free_run, ok_result, 0);
+  service.drain();
+  EXPECT_EQ(service.stats().deadline_exceeded, 1);
+  EXPECT_EQ(service.stats().completed, 1);
+}
+
+TEST(SolverService, AbortedJobsLeaveTheArenaCleanForLaterTenants) {
+  // Jobs aborted mid-run park their leases; the next job adopting those run
+  // states must produce bit-identical results to a fresh-pool direct call.
+  Rng rng(56);
+  auto g = std::make_shared<const Graph>(gen::gnp(60, 0.15, rng));
+  const SolverResult ref = execute_request(make_congest_request(g, {1.0}));
+
+  SolverService service({.workers = 1, .queue_capacity = 8});
+  SubmitOptions tiny;
+  tiny.round_budget = 2;
+  for (int i = 0; i < 3; ++i) {
+    JobTicket t = service.submit(make_congest_request(g, {1.0}), tiny);
+    EXPECT_EQ(t.result.get().status, SolverStatus::kDeadlineExceeded);
+  }
+  JobTicket clean = service.submit(make_congest_request(g, {1.0}));
+  const SolverResult got = clean.result.get();
+  ASSERT_EQ(got.status, SolverStatus::kOk);
+  expect_same_result(ref, got, 0);
 }
 
 // ------------------------------------------------------- shared pool (raw)
