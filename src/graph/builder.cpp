@@ -8,20 +8,32 @@ void GraphBuilder::add_edge(NodeId u, NodeId v) {
   DEC_REQUIRE(u >= 0 && v >= 0, "negative node id");
   DEC_REQUIRE(u != v, "self-loops are not allowed");
   if (u > v) std::swap(u, v);
+  DEC_REQUIRE(v <= kMaxNodeId, "node id exceeds NodeId range");
   ensure_nodes(v + 1);
+  if (sorted_ && !edges_.empty() &&
+      !(edges_.back() < std::make_pair(u, v))) {
+    sorted_ = false;
+  }
   edges_.emplace_back(u, v);
 }
 
 bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
   if (u > v) std::swap(u, v);
-  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
-         edges_.end();
+  const auto target = std::make_pair(u, v);
+  if (sorted_) {
+    return std::binary_search(edges_.begin(), edges_.end(), target);
+  }
+  return std::find(edges_.begin(), edges_.end(), target) != edges_.end();
 }
 
 Graph GraphBuilder::build() && {
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-  return Graph(n_, std::move(edges_));
+  if (!sorted_) {
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+  // The list is now canonical (u < v per pair, strictly increasing), so the
+  // fast-path constructor applies: no re-sort, no per-node adjacency sort.
+  return Graph::from_sorted_unique(n_, std::move(edges_));
 }
 
 }  // namespace dec

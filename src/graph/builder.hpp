@@ -3,6 +3,14 @@
 // The builder tolerates duplicate insertions (deduplicates), rejects
 // self-loops, and grows the node range on demand, which keeps generator code
 // simple and the Graph class strict.
+//
+// Scale path: reserve_edges() pre-sizes the edge buffer (a streaming
+// generator that knows its expected edge count never reallocates, so a
+// 10M-node graph holds one copy of its edge list, not a growth-doubling
+// peak of two), and the builder tracks whether insertions have stayed in
+// canonical order (u < v, strictly increasing) — when they have, build()
+// skips the O(m log m) sort/dedup entirely and has_edge() is a binary
+// search instead of a linear scan.
 #pragma once
 
 #include <utility>
@@ -22,9 +30,20 @@ class GraphBuilder {
   /// Ensure the graph has at least n nodes.
   void ensure_nodes(NodeId n) { n_ = n_ > n ? n_ : n; }
 
-  /// Whether {u,v} was added already (linear scan; for generator retry loops
-  /// prefer has_edge_fast on small batches or dedupe at build()).
+  /// Pre-size the edge buffer for a generator that knows (or can bound) its
+  /// edge count — avoids reallocation doubling while streaming edges in.
+  void reserve_edges(std::size_t m) { edges_.reserve(m); }
+
+  /// Whether {u,v} was added already. O(log m) binary search while
+  /// insertions have stayed in canonical sorted order (the streaming
+  /// generators' case); falls back to an O(m) linear scan once an
+  /// out-of-order edge lands — retry-loop generators should prefer
+  /// build()-time dedup over per-insert membership probes.
   bool has_edge(NodeId u, NodeId v) const;
+
+  /// Whether every insertion so far has been in strictly increasing
+  /// canonical order (build() will skip the sort/dedup pass).
+  bool edges_sorted() const { return sorted_; }
 
   NodeId num_nodes() const { return n_; }
   std::size_t num_edges_with_duplicates() const { return edges_.size(); }
@@ -34,6 +53,7 @@ class GraphBuilder {
 
  private:
   NodeId n_ = 0;
+  bool sorted_ = true;  // strictly-increasing canonical append watermark
   std::vector<std::pair<NodeId, NodeId>> edges_;
 };
 

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
+#include <queue>
 #include <unordered_map>
 
 #include "graph/builder.hpp"
 
 namespace dec::gen {
+
+NodeId checked_node_count(long long count, const char* context) {
+  DEC_REQUIRE(count >= 0 && count <= static_cast<long long>(kMaxNodeId),
+              std::string(context) + ": node count " + std::to_string(count) +
+                  " does not fit NodeId");
+  return static_cast<NodeId>(count);
+}
 
 BipartiteGraph regular_bipartite(NodeId n_per_side, int d) {
   DEC_REQUIRE(n_per_side >= 1, "need at least one node per side");
@@ -123,18 +132,144 @@ Graph random_regular(NodeId n, int d, Rng& rng) {
   return Graph(n, std::move(edges));
 }
 
-Graph power_law(NodeId n, double gamma, double avg_deg, Rng& rng) {
-  DEC_REQUIRE(n >= 1, "need at least one node");
-  DEC_REQUIRE(gamma > 2.0, "Chung-Lu needs gamma > 2");
+namespace {
+
+/// Rank-weight vector of the Chung–Lu power-law model: w_i proportional to
+/// (i+1)^(-1/(gamma-1)), scaled so the weights sum to avg_deg * n. Shared
+/// by the streaming and pairwise generators so both sample the same model.
+std::vector<double> power_law_weights(NodeId n, double gamma,
+                                      double avg_deg) {
   std::vector<double> w(static_cast<std::size_t>(n));
   const double exponent = -1.0 / (gamma - 1.0);
   double total = 0.0;
   for (NodeId i = 0; i < n; ++i) {
-    w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), exponent);
+    w[static_cast<std::size_t>(i)] =
+        std::pow(static_cast<double>(i + 1), exponent);
     total += w[static_cast<std::size_t>(i)];
   }
   const double scale = avg_deg * static_cast<double>(n) / total;
   for (auto& x : w) x *= scale;
+  return w;
+}
+
+/// Streaming Chung–Lu realization for weights sorted in nonincreasing
+/// order (Miller–Hagberg skip sampling): each edge {u, v}, u < v, is
+/// present independently with probability min(1, w_u * w_v / wsum). Within
+/// a row u the candidate probabilities are nonincreasing in v, so instead
+/// of n - u Bernoulli draws the inner loop draws a geometric skip at the
+/// current row maximum p and thins the landed candidate by q/p — expected
+/// O(n + m) total work. Edges are emitted in canonical order, so the
+/// builder's sorted fast path applies (no sort, no dedup, one edge-list
+/// copy end to end).
+void chung_lu_sorted(GraphBuilder& b, const std::vector<double>& w,
+                     double wsum, Rng& rng) {
+  const NodeId n = static_cast<NodeId>(w.size());
+  DEC_REQUIRE(wsum > 0.0, "Chung-Lu weight sum must be positive");
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    const double wu = w[static_cast<std::size_t>(u)];
+    double p = std::min(1.0, wu * w[static_cast<std::size_t>(u) + 1] / wsum);
+    if (p <= 0.0) continue;
+    NodeId v = u + 1;
+    while (v < n) {
+      if (p < 1.0) {
+        // Geometric skip to the next candidate at success rate p.
+        const double skip =
+            std::floor(std::log1p(-rng.next_double()) / std::log1p(-p));
+        if (skip >= static_cast<double>(n - v)) break;
+        v += static_cast<NodeId>(skip);
+      }
+      const double q =
+          std::min(1.0, wu * w[static_cast<std::size_t>(v)] / wsum);
+      if (q <= 0.0) break;
+      // The candidate landed at rate p; thin to the true rate q <= p.
+      if (rng.next_double() * p < q) b.add_edge(u, v);
+      p = q;
+      ++v;
+    }
+  }
+}
+
+/// Bounded Zipf(s) sampler on {1..n} by rejection-inversion (Hörmann &
+/// Derflinger 1996, the Apache Commons samplers' algorithm): inverts the
+/// integral of the continuous envelope x^(-s) and rejects against the
+/// discrete histogram. O(1) expected per draw, no tables — usable for
+/// d_max in the millions where an inverse-CDF table would not be.
+class BoundedZipf {
+ public:
+  BoundedZipf(long long n, double s) : n_(n), s_(s) {
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n) + 0.5);
+    threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  long long operator()(Rng& rng) const {
+    while (true) {
+      const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      long long k = static_cast<long long>(x + 0.5);
+      if (k < 1) {
+        k = 1;
+      } else if (k > n_) {
+        k = n_;
+      }
+      if (static_cast<double>(k) - x <= threshold_ ||
+          u >= h_integral(static_cast<double>(k) + 0.5) -
+                   h(static_cast<double>(k))) {
+        return k;
+      }
+    }
+  }
+
+ private:
+  double h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+  // H(x) = integral of h: (x^(1-s) - 1) / (1 - s), continued through the
+  // s = 1 pole (log x) via expm1/log1p helpers.
+  double h_integral(double x) const {
+    const double log_x = std::log(x);
+    return helper2((1.0 - s_) * log_x) * log_x;
+  }
+
+  double h_integral_inverse(double x) const {
+    double t = x * (1.0 - s_);
+    if (t < -1.0) t = -1.0;  // round-off guard at the lower boundary
+    return std::exp(helper1(t) * x);
+  }
+
+  static double helper1(double x) {  // log1p(x) / x
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x
+                              : 1.0 - x * 0.5 + x * x / 3.0;
+  }
+  static double helper2(double x) {  // expm1(x) / x
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x
+                              : 1.0 + x * 0.5 + x * x / 6.0;
+  }
+
+  long long n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace
+
+Graph power_law(NodeId n, double gamma, double avg_deg, Rng& rng) {
+  DEC_REQUIRE(n >= 1, "need at least one node");
+  DEC_REQUIRE(gamma > 2.0, "Chung-Lu needs gamma > 2");
+  const std::vector<double> w = power_law_weights(n, gamma, avg_deg);
+  const double wsum = avg_deg * static_cast<double>(n);
+  GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::size_t>(wsum / 2.0) +
+                  static_cast<std::size_t>(n) / 8 + 16);
+  chung_lu_sorted(b, w, wsum, rng);
+  return std::move(b).build();
+}
+
+Graph power_law_pairwise(NodeId n, double gamma, double avg_deg, Rng& rng) {
+  DEC_REQUIRE(n >= 1, "need at least one node");
+  DEC_REQUIRE(gamma > 2.0, "Chung-Lu needs gamma > 2");
+  const std::vector<double> w = power_law_weights(n, gamma, avg_deg);
   const double wsum = avg_deg * static_cast<double>(n);
   GraphBuilder b(n);
   for (NodeId u = 0; u < n; ++u) {
@@ -147,24 +282,57 @@ Graph power_law(NodeId n, double gamma, double avg_deg, Rng& rng) {
   return std::move(b).build();
 }
 
+Graph zipfian(NodeId n, double s, int d_max, Rng& rng) {
+  DEC_REQUIRE(n >= 2, "need at least two nodes");
+  DEC_REQUIRE(s > 0.0, "zipfian needs skew s > 0");
+  DEC_REQUIRE(d_max >= 1 && d_max < n, "zipfian needs 1 <= d_max < n");
+  const BoundedZipf zipf(d_max, s);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  double wsum = 0.0;
+  for (auto& x : w) {
+    x = static_cast<double>(zipf(rng));
+    wsum += x;
+  }
+  // Rank order (nonincreasing) both satisfies the skip-sampler's
+  // precondition and gives the conventional heavy-head node labeling.
+  std::sort(w.begin(), w.end(), std::greater<double>());
+  GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::size_t>(wsum / 2.0) + 16);
+  chung_lu_sorted(b, w, wsum, rng);
+  return std::move(b).build();
+}
+
 Graph grid(NodeId rows, NodeId cols) {
   DEC_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
-  GraphBuilder b(rows * cols);
-  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  // rows * cols (and r * cols + c below) overflow 32-bit NodeId well before
+  // any memory limit — validate the 64-bit product up front, after which
+  // every id is < total and 32-bit arithmetic on them is exact.
+  const NodeId total = checked_node_count(
+      static_cast<long long>(rows) * static_cast<long long>(cols), "grid");
+  GraphBuilder b(total);
+  b.reserve_edges(2 * static_cast<std::size_t>(total));
+  auto id = [cols](NodeId r, NodeId c) {
+    return static_cast<NodeId>(static_cast<long long>(r) * cols + c);
+  };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
       if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
     }
   }
-  b.ensure_nodes(rows * cols);
+  b.ensure_nodes(total);
   return std::move(b).build();
 }
 
 Graph torus(NodeId rows, NodeId cols) {
   DEC_REQUIRE(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
-  GraphBuilder b(rows * cols);
-  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  const NodeId total = checked_node_count(
+      static_cast<long long>(rows) * static_cast<long long>(cols), "torus");
+  GraphBuilder b(total);
+  b.reserve_edges(2 * static_cast<std::size_t>(total));
+  auto id = [cols](NodeId r, NodeId c) {
+    return static_cast<NodeId>(static_cast<long long>(r) * cols + c);
+  };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       b.add_edge(id(r, c), id(r, (c + 1) % cols));
@@ -247,20 +415,29 @@ Graph random_tree(NodeId n, Rng& rng) {
   std::vector<int> deg(static_cast<std::size_t>(n), 1);
   for (NodeId x : prufer) ++deg[static_cast<std::size_t>(x)];
   GraphBuilder b(n);
-  // Min-leaf selection via linear scan pointer (n is small in tests).
+  // Min-leaf selection via a min-heap of current leaves: O(n log n) total
+  // where the old whole-range scan was O(n^2) per tree. A node enters the
+  // heap exactly when its degree reaches 1 (at init or after its last
+  // Prüfer occurrence is consumed) and degrees only decrease, so the heap
+  // top is always the smallest-id live leaf — the same node the scan
+  // picked, making the generated trees bit-identical across the change
+  // (pinned by Generators.RandomTreeMatchesScanReference).
   std::vector<bool> used(static_cast<std::size_t>(n), false);
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>>
+      leaves;
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[static_cast<std::size_t>(v)] == 1) leaves.push(v);
+  }
   for (NodeId x : prufer) {
-    NodeId leaf = kInvalidNode;
-    for (NodeId v = 0; v < n; ++v) {
-      if (deg[static_cast<std::size_t>(v)] == 1 && !used[static_cast<std::size_t>(v)]) {
-        leaf = v;
-        break;
-      }
-    }
-    DEC_CHECK(leaf != kInvalidNode, "Prüfer decoding ran out of leaves");
+    DEC_CHECK(!leaves.empty(), "Prüfer decoding ran out of leaves");
+    const NodeId leaf = leaves.top();
+    leaves.pop();
+    DEC_CHECK(deg[static_cast<std::size_t>(leaf)] == 1 &&
+                  !used[static_cast<std::size_t>(leaf)],
+              "Prüfer leaf heap entry went stale");
     b.add_edge(leaf, x);
     used[static_cast<std::size_t>(leaf)] = true;
-    --deg[static_cast<std::size_t>(x)];
+    if (--deg[static_cast<std::size_t>(x)] == 1) leaves.push(x);
   }
   NodeId a = kInvalidNode, c = kInvalidNode;
   for (NodeId v = 0; v < n; ++v) {
@@ -302,12 +479,19 @@ Graph empty(NodeId n) {
 }
 
 Graph disjoint_union(const Graph& a, const Graph& b) {
-  std::vector<std::pair<NodeId, NodeId>> edges = a.edge_list();
+  // The node-count sum (and with it every shifted id u + shift) must fit
+  // NodeId before any 32-bit addition happens.
+  const NodeId total = checked_node_count(
+      static_cast<long long>(a.num_nodes()) + b.num_nodes(),
+      "disjoint_union");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(a.edge_list().size() + b.edge_list().size());
+  edges.insert(edges.end(), a.edge_list().begin(), a.edge_list().end());
   const NodeId shift = a.num_nodes();
   for (const auto& [u, v] : b.edge_list()) {
     edges.emplace_back(u + shift, v + shift);
   }
-  return Graph(a.num_nodes() + b.num_nodes(), std::move(edges));
+  return Graph(total, std::move(edges));
 }
 
 }  // namespace dec::gen

@@ -31,7 +31,22 @@ Graph random_regular(NodeId n, int d, Rng& rng);
 
 /// Chung–Lu power-law graph: expected degree of node i proportional to
 /// (i+1)^(-1/(gamma-1)) scaled to average degree avg_deg. gamma > 2.
+/// Streaming skip-sampling implementation (Miller–Hagberg): expected
+/// O(n + m) work and one edge-list copy, so million-node instances are
+/// routine. Same model as power_law_pairwise, different RNG stream.
 Graph power_law(NodeId n, double gamma, double avg_deg, Rng& rng);
+
+/// Reference O(n^2) pairwise implementation of the same Chung–Lu model
+/// (the pre-scale-axis generator). Kept as the statistical pin for
+/// power_law — tests compare edge counts and degree tails at small n —
+/// and for seed-stable experiments that predate the streaming generator.
+Graph power_law_pairwise(NodeId n, double gamma, double avg_deg, Rng& rng);
+
+/// Zipf-degree graph: n iid degrees sampled from a bounded Zipf(s)
+/// distribution on {1..d_max} (rejection-inversion sampling, O(1) expected
+/// per draw), sorted into rank order and realized as expected degrees via
+/// the same streaming Chung–Lu core. Requires s > 0, 1 <= d_max < n.
+Graph zipfian(NodeId n, double s, int d_max, Rng& rng);
 
 /// 2D grid (rows x cols, no wraparound).
 Graph grid(NodeId rows, NodeId cols);
@@ -68,5 +83,12 @@ Graph empty(NodeId n);
 
 /// Disjoint union of two graphs (nodes of b shifted by a.num_nodes()).
 Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Validate that a node count computed in 64-bit (grid/torus products,
+/// disjoint-union sums) fits the NodeId domain, and narrow it. Every
+/// generator that derives ids arithmetically goes through this before any
+/// allocation or 32-bit arithmetic — exposed so the guard itself is
+/// testable at bounds no real graph can be built at.
+NodeId checked_node_count(long long count, const char* context);
 
 }  // namespace dec::gen

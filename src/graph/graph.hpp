@@ -25,6 +25,10 @@ using EdgeId = std::int32_t;
 constexpr NodeId kInvalidNode = -1;
 constexpr EdgeId kInvalidEdge = -1;
 
+/// Largest usable node count/id bound. Ids are int32 and several call sites
+/// form `id + 1` node counts, so the last representable value is reserved.
+constexpr NodeId kMaxNodeId = INT32_MAX - 1;
+
 /// One adjacency entry: the neighbor reached and the id of the edge used.
 struct Incidence {
   NodeId neighbor;
@@ -38,6 +42,27 @@ class Graph {
   Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges);
 
   Graph() = default;
+
+  /// Fast path for edge lists already in canonical form: every pair (u, v)
+  /// with u < v, strictly increasing lexicographically (hence unique), all
+  /// endpoints in [0, n). This is exactly what GraphBuilder::build() emits
+  /// and what the binary CSR format stores, so loaders skip the O(m log m)
+  /// sort/dedup and the per-node adjacency sorts — canonical edge order
+  /// makes every adjacency come out neighbor-sorted by construction. The
+  /// canonical-form preconditions themselves are still verified in one O(m)
+  /// pass (DEC_REQUIRE), so a malformed list cannot produce a broken graph.
+  /// The result is bit-identical to Graph(n, edges) on the same input.
+  static Graph from_sorted_unique(NodeId n,
+                                  std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Same fast path fed directly from a mapped CSR file: `offsets` are the
+  /// n + 1 adjacency offsets (offsets[n] == 2m) and `endpoints` the m
+  /// canonical (u, v) pairs flattened in edge-id order. The offsets replace
+  /// the degree-counting pass (they are validated against the endpoint
+  /// section); the endpoint section is read exactly once, straight out of
+  /// the mapping, with no intermediate edge-list copy.
+  static Graph from_csr(NodeId n, std::span<const std::uint64_t> offsets,
+                        std::span<const std::uint32_t> endpoints);
 
   NodeId num_nodes() const { return n_; }
   EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
@@ -92,7 +117,23 @@ class Graph {
   /// Edge id between u and v, or kInvalidEdge (binary search, O(log deg)).
   EdgeId find_edge(NodeId u, NodeId v) const;
 
+  /// Heap bytes held by this graph (edge list, CSR offsets, adjacency,
+  /// edge-degree cache) — the topology side of the per-node memory budget
+  /// (docs/ARCHITECTURE.md "Graph storage & scale").
+  std::size_t memory_bytes() const {
+    return edges_.capacity() * sizeof(edges_[0]) +
+           offsets_.capacity() * sizeof(offsets_[0]) +
+           adj_.capacity() * sizeof(adj_[0]) +
+           edge_degrees_.capacity() * sizeof(edge_degrees_[0]);
+  }
+
  private:
+  /// Shared tail of all constructors: edges_ and offsets_ are final and
+  /// validated; fills adj_ (cursor counting sort), degree maxima, and the
+  /// edge-degree cache. `adjacency_sorted` says the fill produces
+  /// neighbor-sorted adjacencies (true when edges_ is in canonical order),
+  /// letting the fast paths skip the per-node sort + parallel-edge check.
+  void finish_construction(bool adjacency_sorted);
   NodeId n_ = 0;
   std::vector<std::pair<NodeId, NodeId>> edges_;
   std::vector<std::size_t> offsets_;  // n+1 entries

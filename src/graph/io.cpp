@@ -1,8 +1,10 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 namespace dec {
 
@@ -14,18 +16,37 @@ void write_edge_list(std::ostream& os, const Graph& g) {
 }
 
 Graph read_edge_list(std::istream& is) {
-  NodeId n = 0;
-  EdgeId m = 0;
+  long long n = 0;
+  long long m = 0;
   if (!(is >> n >> m)) throw CheckError("edge list: missing header");
   DEC_REQUIRE(n >= 0 && m >= 0, "edge list: negative header values");
+  DEC_REQUIRE(n <= static_cast<long long>(kMaxNodeId),
+              "edge list: node count exceeds NodeId range");
+  DEC_REQUIRE(m <= static_cast<long long>(INT32_MAX),
+              "edge list: edge count exceeds EdgeId range");
   std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(static_cast<std::size_t>(m));
-  for (EdgeId e = 0; e < m; ++e) {
-    NodeId u = 0, v = 0;
-    if (!(is >> u >> v)) throw CheckError("edge list: truncated edge section");
-    edges.emplace_back(u, v);
+  // The header's m is untrusted until that many edges have actually been
+  // parsed: a corrupt/hostile header (m = 2^31 - 1 on a three-byte stream)
+  // must not drive a multi-GB up-front reserve. Cap the initial reserve
+  // and let amortized growth track the edges that really arrive.
+  constexpr long long kReserveCap = 1 << 16;
+  edges.reserve(static_cast<std::size_t>(std::min(m, kReserveCap)));
+  for (long long e = 0; e < m; ++e) {
+    long long u = 0, v = 0;
+    if (!(is >> u >> v)) {
+      throw CheckError("edge list: truncated edge section at edge " +
+                       std::to_string(e) + " of " + std::to_string(m) +
+                       " (line " + std::to_string(e + 2) + ")");
+    }
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      throw CheckError("edge list: endpoint out of range on line " +
+                       std::to_string(e + 2) + ": \"" + std::to_string(u) +
+                       " " + std::to_string(v) + "\" with n = " +
+                       std::to_string(n));
+    }
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  return Graph(n, std::move(edges));
+  return Graph(static_cast<NodeId>(n), std::move(edges));
 }
 
 std::string to_dot(const Graph& g, const std::vector<Color>* edge_color) {

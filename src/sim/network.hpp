@@ -255,6 +255,21 @@ class SyncNetwork {
   }
   int num_threads() const { return topo_->num_shards(); }
 
+  /// Heap bytes of this run state: both message buffer planes, per-shard
+  /// spill arenas and touched lists. Excludes the shared plan
+  /// (NetworkTopology::memory_bytes) and the graph (Graph::memory_bytes) —
+  /// the three together are the per-node budget docs/ARCHITECTURE.md
+  /// "Graph storage & scale" tracks.
+  std::size_t memory_bytes() const {
+    std::size_t bytes =
+        (buf_a_.capacity() + buf_b_.capacity()) * sizeof(Message);
+    for (const auto& sh : shards_) {
+      bytes += sh.slab_a.capacity_bytes() + sh.slab_b.capacity_bytes();
+      bytes += sh.touched.capacity() * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+
   // Slot-plane introspection (tests and tools).
   std::size_t num_slots() const { return topo_->num_slots(); }
   std::size_t slot(NodeId v, std::size_t i) const {

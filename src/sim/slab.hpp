@@ -33,6 +33,14 @@ class MessageSlab {
   /// Fields currently allocated since the last reset (for tests/stats).
   std::size_t used() const { return used_; }
 
+  /// Bytes held by the arena's chunks (kept across resets; for the memory
+  /// budget report).
+  std::size_t capacity_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& c : chunks_) bytes += c.size * sizeof(std::int64_t);
+    return bytes;
+  }
+
  private:
   static constexpr std::size_t kChunkFields = 1 << 14;  // 128 KiB per chunk
 

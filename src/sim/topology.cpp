@@ -105,6 +105,12 @@ std::shared_ptr<const DiTopology> DiTopology::plan(const Digraph& dg,
   const Graph& support = topo->support_;
   topo->net_topo_ = NetworkTopology::plan(support, num_threads);
   const std::size_t num_arcs = static_cast<std::size_t>(dg.num_arcs());
+  // Lane scratch slots are addressed as num_arcs + arc id in uint32 (the
+  // pack lists below): guard the doubled arc count the same way the
+  // undirected plan guards its 2m slot plane, so planning at the 1M+ scale
+  // fails with a message instead of wrapping.
+  DEC_REQUIRE(2 * num_arcs <= static_cast<std::size_t>(UINT32_MAX) - 1,
+              "arc plane too large for 32-bit scratch slot indices");
 
   // Incidence index of the support edge {u, v} inside u's adjacency; the
   // adjacency is sorted by neighbor and simple, so binary search is exact.

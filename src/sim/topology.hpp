@@ -68,6 +68,15 @@ class NetworkTopology {
   /// pool verifies full edge lists before sharing a cached plan).
   bool matches(const Graph& g) const;
 
+  /// Heap bytes of the plan arrays (offsets, peer permutation, shard
+  /// boundaries) — the plan side of the per-node memory budget
+  /// (docs/ARCHITECTURE.md "Graph storage & scale").
+  std::size_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(offsets_[0]) +
+           peer_slot_.capacity() * sizeof(peer_slot_[0]) +
+           shard_begin_.capacity() * sizeof(shard_begin_[0]);
+  }
+
  private:
   NetworkTopology() = default;
 

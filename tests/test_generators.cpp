@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/bipartite.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 
 namespace dec {
@@ -128,6 +129,143 @@ TEST(Generators, DeterministicUnderSeed) {
   const Graph g1 = gen::gnp(50, 0.2, a);
   const Graph g2 = gen::gnp(50, 0.2, b);
   EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+// The streaming power_law samples the same Chung–Lu model as the O(n^2)
+// pairwise reference — every pair {u, v} independently with probability
+// min(1, w_u w_v / W) — just through a different RNG stream. Averaged over
+// seeds, edge counts and the heavy-degree tail must agree.
+TEST(Generators, PowerLawMatchesPairwiseStatistically) {
+  const NodeId n = 1500;
+  const double gamma = 2.5, avg = 6.0;
+  const int seeds = 5, tail_at = 20;
+  double stream_edges = 0, pair_edges = 0;
+  long long stream_tail = 0, pair_tail = 0;
+  for (int s = 0; s < seeds; ++s) {
+    Rng ra(100 + s), rb(100 + s);
+    const Graph gs = gen::power_law(n, gamma, avg, ra);
+    const Graph gp = gen::power_law_pairwise(n, gamma, avg, rb);
+    stream_edges += gs.num_edges();
+    pair_edges += gp.num_edges();
+    for (NodeId v = 0; v < n; ++v) {
+      stream_tail += gs.degree(v) >= tail_at;
+      pair_tail += gp.degree(v) >= tail_at;
+    }
+  }
+  stream_edges /= seeds;
+  pair_edges /= seeds;
+  // Means over 5 seeds concentrate to ~1-2%; 10% bounds leave generous
+  // slack without admitting a wrong model.
+  EXPECT_GT(stream_edges, pair_edges * 0.90);
+  EXPECT_LT(stream_edges, pair_edges * 1.10);
+  // Tail mass (nodes of degree >= 20 ~ 3x the mean) within a factor 1.5.
+  EXPECT_GT(pair_tail, 0);
+  EXPECT_GT(stream_tail * 2, pair_tail);
+  EXPECT_LT(stream_tail, pair_tail * 2);
+}
+
+TEST(Generators, PowerLawStreamingEmitsSortedCanonicalEdges) {
+  Rng rng(7);
+  const Graph g = gen::power_law(500, 2.5, 5.0, rng);
+  const auto& edges = g.edge_list();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i].first, edges[i].second);
+    if (i > 0) EXPECT_LT(edges[i - 1], edges[i]);
+  }
+}
+
+TEST(Generators, ZipfianSkewAndGuards) {
+  Rng rng(11);
+  const Graph g = gen::zipfian(600, 1.1, 40, rng);
+  EXPECT_EQ(g.num_nodes(), 600);
+  EXPECT_GT(g.num_edges(), 0);
+  // Rank-ordered expected degrees: the head outweighs the median node.
+  EXPECT_GT(g.degree(0), g.degree(300));
+  Rng r2(11);
+  const Graph h = gen::zipfian(600, 1.1, 40, r2);
+  EXPECT_EQ(g.edge_list(), h.edge_list());  // deterministic under seed
+  EXPECT_THROW(gen::zipfian(10, 0.0, 5, rng), CheckError);
+  EXPECT_THROW(gen::zipfian(10, 1.0, 10, rng), CheckError);  // d_max >= n
+  EXPECT_THROW(gen::zipfian(10, 1.0, 0, rng), CheckError);
+}
+
+// Pin for the heap-based Prüfer decoder: the min-heap must pick exactly the
+// node the old O(n^2) whole-range scan picked, so trees are bit-identical
+// across the change. The reference below is that scan, verbatim.
+Graph random_tree_scan_reference(NodeId n, Rng& rng) {
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n) - 2);
+  for (auto& x : prufer) {
+    x = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+  }
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId x : prufer) ++deg[static_cast<std::size_t>(x)];
+  GraphBuilder b(n);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (NodeId x : prufer) {
+    NodeId leaf = kInvalidNode;
+    for (NodeId v = 0; v < n && leaf == kInvalidNode; ++v) {
+      if (!used[static_cast<std::size_t>(v)] &&
+          deg[static_cast<std::size_t>(v)] == 1) {
+        leaf = v;
+      }
+    }
+    b.add_edge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = true;
+    --deg[static_cast<std::size_t>(x)];
+  }
+  NodeId a = kInvalidNode, c = kInvalidNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (used[static_cast<std::size_t>(v)] ||
+        deg[static_cast<std::size_t>(v)] != 1) {
+      continue;
+    }
+    if (a == kInvalidNode) {
+      a = v;
+    } else {
+      c = v;
+    }
+  }
+  b.add_edge(a, c);
+  return std::move(b).build();
+}
+
+TEST(Generators, RandomTreeMatchesScanReference) {
+  for (const NodeId n : {3, 10, 50, 200}) {
+    for (int seed = 1; seed <= 5; ++seed) {
+      Rng heap_rng(seed), scan_rng(seed);
+      const Graph heap_tree = gen::random_tree(n, heap_rng);
+      const Graph scan_tree = random_tree_scan_reference(n, scan_rng);
+      EXPECT_EQ(heap_tree.edge_list(), scan_tree.edge_list())
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Generators, GridTorusOverflowGuardThrowsCleanly) {
+  // 65536 * 65536 = 2^32 used to wrap NodeId to 0 and build garbage; now it
+  // must throw a CheckError naming the generator before any allocation.
+  EXPECT_THROW(gen::grid(65536, 65536), CheckError);
+  EXPECT_THROW(gen::grid(46341, 46341), CheckError);  // first overflowing sq
+  EXPECT_THROW(gen::torus(65536, 65536), CheckError);
+  try {
+    gen::grid(1 << 20, 1 << 20);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("grid"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Generators, CheckedNodeCountBounds) {
+  EXPECT_EQ(gen::checked_node_count(0, "t"), 0);
+  EXPECT_EQ(gen::checked_node_count(kMaxNodeId, "t"), kMaxNodeId);
+  // Top id is reserved (call sites form id + 1), so INT32_MAX itself is out,
+  // as is anything negative — the disjoint_union sum guard rides on this.
+  EXPECT_THROW(gen::checked_node_count(
+                   static_cast<long long>(kMaxNodeId) + 1, "t"),
+               CheckError);
+  EXPECT_THROW(gen::checked_node_count(1LL << 32, "t"), CheckError);
+  EXPECT_THROW(gen::checked_node_count(-1, "t"), CheckError);
 }
 
 }  // namespace

@@ -109,6 +109,46 @@ TEST(Builder, RejectsSelfLoop) {
   EXPECT_THROW(b.add_edge(3, 3), CheckError);
 }
 
+TEST(Builder, TracksSortedAppendsAndAnswersHasEdgeEitherWay) {
+  GraphBuilder sorted;
+  sorted.reserve_edges(4);
+  sorted.add_edge(0, 1);
+  sorted.add_edge(0, 2);
+  sorted.add_edge(1, 3);
+  EXPECT_TRUE(sorted.edges_sorted());  // binary-search fast path
+  EXPECT_TRUE(sorted.has_edge(0, 2));
+  EXPECT_TRUE(sorted.has_edge(3, 1));  // orientation-insensitive
+  EXPECT_FALSE(sorted.has_edge(0, 3));
+
+  GraphBuilder unsorted;
+  unsorted.add_edge(1, 3);
+  unsorted.add_edge(0, 1);
+  EXPECT_FALSE(unsorted.edges_sorted());  // falls back to a linear find
+  EXPECT_TRUE(unsorted.has_edge(0, 1));
+  EXPECT_FALSE(unsorted.has_edge(0, 3));
+
+  // Both routes end at the same graph.
+  const Graph g = std::move(unsorted).build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_NE(g.find_edge(1, 3), kInvalidEdge);
+}
+
+TEST(Builder, DuplicateAppendClearsSortedFlag) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // equal, not strictly increasing
+  EXPECT_FALSE(b.edges_sorted());
+  EXPECT_EQ(std::move(b).build().num_edges(), 1);
+}
+
+TEST(Builder, RejectsIdsBeyondNodeIdRange) {
+  GraphBuilder b;
+  EXPECT_THROW(b.add_edge(0, kMaxNodeId + 1), CheckError);
+  EXPECT_THROW(b.add_edge(-2, 1), CheckError);
+  b.add_edge(0, 1);  // builder still usable after a rejected append
+  EXPECT_EQ(std::move(b).build().num_edges(), 1);
+}
+
 TEST(Digraph, InOutAdjacency) {
   const Digraph d(3, {{0, 1}, {1, 2}, {2, 0}, {0, 2}});
   EXPECT_EQ(d.num_arcs(), 4);
@@ -243,6 +283,39 @@ TEST(Io, RejectsMalformedInput) {
   EXPECT_THROW(read_edge_list(empty), CheckError);
   std::stringstream truncated("3 2\n0 1\n");
   EXPECT_THROW(read_edge_list(truncated), CheckError);
+}
+
+TEST(Io, HostileHeaderDoesNotDriveAllocation) {
+  // A header claiming 2^31 - 1 edges over a three-token body must fail at
+  // the first missing edge, not attempt a multi-GB reserve first.
+  std::stringstream hostile("3 2147483647\n0 1\n");
+  try {
+    read_edge_list(hostile);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated edge section"),
+              std::string::npos)
+        << e.what();
+  }
+  // Counts beyond the id domains are rejected from the header alone.
+  std::stringstream big_n("2147483647 0\n");
+  EXPECT_THROW(read_edge_list(big_n), CheckError);
+  std::stringstream big_m("3 2147483648\n");
+  EXPECT_THROW(read_edge_list(big_m), CheckError);
+  std::stringstream negative("-1 0\n");
+  EXPECT_THROW(read_edge_list(negative), CheckError);
+}
+
+TEST(Io, ReportsOffendingLineForBadEndpoint) {
+  std::stringstream bad("3 2\n0 1\n1 7\n");
+  try {
+    read_edge_list(bad);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"1 7\""), std::string::npos) << msg;
+  }
 }
 
 TEST(Io, DotExportMentionsColors) {
