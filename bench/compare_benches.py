@@ -38,13 +38,44 @@ import sys
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def parse(data):
-    """google-benchmark JSON dict -> {name: {real_time, items_per_second}}.
+def parse_service_load(data):
+    """service_load JSON (bench_service_load) -> pseudo-benchmark rows.
 
-    real_time is normalized to ns (deltas stay correct even if a benchmark's
-    reported time_unit differs between the two files); repetitions of one
-    name are aggregated by median, field-wise.
+    The latency and queue-wait percentiles become time rows (ms -> ns), so
+    the regression threshold applies to tail latency exactly as it does to
+    a microbench's real_time. Throughput becomes a per-job time row
+    (1e9 / jobs_per_sec) with the rate riding along as items_per_second.
     """
+    rows = {}
+    for key in ("latency_ms", "queue_wait_ms"):
+        summary = data.get(key, {})
+        for pct in ("p50", "p95", "p99"):
+            if pct in summary:
+                rows[f"service_load/{key}/{pct}"] = {
+                    "real_time": float(summary[pct]) * 1e6,
+                    "items_per_second": 0.0,
+                }
+    jps = float(data.get("throughput_jobs_per_sec", 0.0))
+    if jps > 0:
+        rows["service_load/time_per_job"] = {
+            "real_time": 1e9 / jps,
+            "items_per_second": jps,
+        }
+    return rows
+
+
+def parse(data):
+    """Benchmark JSON dict -> {name: {real_time, items_per_second}}.
+
+    Accepts either google-benchmark output or bench_service_load's
+    "kind": "service_load" document (dispatched here so the two file
+    flavors diff through one report path). google-benchmark real_time is
+    normalized to ns (deltas stay correct even if a benchmark's reported
+    time_unit differs between the two files); repetitions of one name are
+    aggregated by median, field-wise.
+    """
+    if data.get("kind") == "service_load":
+        return parse_service_load(data)
     samples = {}
     order = []
     for b in data.get("benchmarks", []):
@@ -181,6 +212,23 @@ def self_test():
         _bench("BM_X/10", 100.0, items=90.0),
     ]})
     assert ips["BM_X/10"]["items_per_second"] == 3.0, ips
+
+    # 6. service_load JSON parses into percentile/time rows (ms -> ns) and
+    # regresses through the same flagging path as microbench rows.
+    svc = {
+        "kind": "service_load",
+        "latency_ms": {"p50": 0.2, "p95": 1.0, "p99": 2.0},
+        "queue_wait_ms": {"p50": 0.01, "p95": 0.5, "p99": 1.0},
+        "throughput_jobs_per_sec": 10000.0,
+    }
+    rows = parse(svc)
+    assert rows["service_load/latency_ms/p99"]["real_time"] == 2e6, rows
+    assert rows["service_load/time_per_job"]["real_time"] == 1e5, rows
+    assert rows["service_load/time_per_job"]["items_per_second"] == 1e4, rows
+    assert len(rows) == 7, rows
+    slow_svc = dict(svc, latency_ms={"p50": 0.2, "p95": 1.0, "p99": 3.0})
+    assert report(parse(svc), parse(slow_svc), 10.0,
+                  out=sink, err=sink) == 1
 
     print("compare_benches.py self-test OK")
     return 0

@@ -41,6 +41,44 @@ if [[ "${BENCH_LARGE:-0}" == "1" ]]; then
 fi
 
 ran=0
+
+# Service load driver (BENCH_SERVICE=1): not a google-benchmark binary — it
+# emits its own "kind": "service_load" JSON (latency/queue-wait percentiles
+# under a zipfian multi-tenant stream), which compare_benches.py understands
+# alongside the google-benchmark files. Job count and shape are fixed here
+# so the trajectory stays comparable run to run; BENCH_SERVICE_ARGS appends
+# (e.g. BENCH_SERVICE_ARGS="--jobs 2000" for the CI smoke).
+if [[ "${BENCH_SERVICE:-0}" == "1" ]]; then
+  bin="$BUILD_DIR/bench_service_load"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 1
+  fi
+  out="$OUT_DIR/BENCH_service_load_${STAMP}.json"
+  prev=$(ls -1 "$OUT_DIR"/BENCH_service_load_*.json 2>/dev/null | sort | tail -1 || true)
+  echo "== bench_service_load -> $out"
+  # shellcheck disable=SC2086  # BENCH_SERVICE_ARGS is intentionally split
+  "$bin" --jobs 8000 --tenants 12 --workers 4 --mode closed \
+         --out "$out" ${BENCH_SERVICE_ARGS:-}
+  ran=$((ran + 1))
+  if [[ -n "$prev" ]]; then
+    echo "== delta vs $(basename "$prev") (regression threshold ${REGRESSION_PCT}%)"
+    rc=0
+    python3 "$SCRIPT_DIR/compare_benches.py" "$prev" "$out" \
+      --threshold "$REGRESSION_PCT" || rc=$?
+    if [[ "$rc" -eq 1 && "$FAIL_ON_REGRESSION" == "1" ]]; then
+      echo "error: service-load regressions above ${REGRESSION_PCT}%" >&2
+      exit 2
+    elif [[ "$rc" -gt 1 ]]; then
+      echo "warning: delta tooling failed (exit $rc); no perf verdict" >&2
+      if [[ "$FAIL_ON_REGRESSION" == "1" ]]; then
+        exit 3
+      fi
+    fi
+  else
+    echo "== no previous BENCH_service_load_*.json; skipping delta report"
+  fi
+fi
 for name in "${GBENCH_BINARIES[@]}"; do
   bin="$BUILD_DIR/$name"
   if [[ ! -x "$bin" ]]; then

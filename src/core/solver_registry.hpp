@@ -21,6 +21,7 @@
 //   defective_2_edge_coloring · token_dropping
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <variant>
@@ -128,6 +129,11 @@ struct SolverResult {
   RejectReason reject = RejectReason::kNone;
   std::string error;  // what() of the failing exception (kFailed only)
   int attempts = 1;   // execution attempts (> 1 after service retries)
+  // Service-side timing (zero for direct execute_request calls, which have
+  // no queue). Not part of the bit-identity contract — the identity keys
+  // compare outputs and ledgers, not scheduling accidents.
+  std::int64_t queue_wait_ns = 0;   // submit entry -> worker pickup
+  std::int64_t e2e_latency_ns = 0;  // submit entry -> future resolution
 };
 
 /// One registry row: the id and the type-erased executor.

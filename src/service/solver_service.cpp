@@ -4,10 +4,33 @@
 #include <utility>
 
 #include "sim/pool.hpp"
+#include "sim/thread_pool.hpp"
 #include "testing/fault_injection.hpp"
 #include "util/check.hpp"
 
 namespace dec {
+
+namespace {
+
+std::int64_t ns_between(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "unknown";
+}
 
 SolverService::SolverService(ServiceConfig cfg)
     : cfg_(cfg), shared_pool_(cfg.engine_threads) {
@@ -28,42 +51,70 @@ JobTicket SolverService::admit(SolverRequest req, SubmitOptions opts,
                                bool blocking) {
   DEC_REQUIRE(solver_registered(req.solver),
               "submit: unknown solver id: " + req.solver);
+  DEC_REQUIRE(opts.engine_threads >= 0,
+              "submit: engine_threads override must be non-negative");
   auto job = std::make_shared<JobState>();
   job->req = std::move(req);
   job->opts = opts;
+  // The deadline clock starts here, at submit entry: time spent blocked on
+  // a full queue is queueing delay and counts against it.
+  job->enqueued = std::chrono::steady_clock::now();
+  if (opts.deadline.count() > 0) {
+    job->deadline = job->enqueued + opts.deadline;
+    job->has_deadline = true;
+  }
   JobTicket ticket;
   ticket.result = job->promise.get_future();
 
   RejectReason reject = RejectReason::kNone;
+  bool expired = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (blocking) {
-      cv_not_full_.wait(lock, [this] {
+      const auto have_space = [this] {
         return stopping_ || queue_.size() < cfg_.queue_capacity;
-      });
+      };
+      if (job->has_deadline) {
+        // Deadline-bounded backpressure: never wait past the job's own
+        // deadline — a full queue that stays full resolves the ticket
+        // kDeadlineExceeded instead of hanging the tenant.
+        expired = !cv_not_full_.wait_until(lock, job->deadline, have_space);
+      } else {
+        cv_not_full_.wait(lock, have_space);
+      }
     }
-    if (stopping_) {
+    if (expired) {
+      ++deadline_exceeded_;
+      ++submit_timeouts_;
+    } else if (stopping_) {
       reject = RejectReason::kShuttingDown;
     } else if (queue_.size() >= cfg_.queue_capacity) {
       reject = RejectReason::kQueueFull;  // non-blocking path only
     } else {
       job->id = next_id_++;
-      job->enqueued = std::chrono::steady_clock::now();
-      if (opts.deadline.count() > 0) {
-        job->deadline = job->enqueued + opts.deadline;
-        job->has_deadline = true;
-        job->token.set_deadline(job->deadline);
-      }
+      if (job->has_deadline) job->token.set_deadline(job->deadline);
       if (opts.round_budget > 0) {
         job->token.set_round_budget(opts.round_budget);
       }
-      queue_.push_back(job);
+      queue_.insert(job);
       live_.emplace(job->id, job);
       ++submitted_;
     }
     if (reject != RejectReason::kNone) ++rejected_;
   }
 
+  if (expired) {
+    // Timed out waiting for space: never admitted, never queued. The
+    // future resolves with the same status an expired queued job gets.
+    SolverResult result;
+    result.solver = job->req.solver;
+    result.status = SolverStatus::kDeadlineExceeded;
+    result.attempts = 0;
+    result.e2e_latency_ns =
+        ns_between(job->enqueued, std::chrono::steady_clock::now());
+    job->promise.set_value(std::move(result));
+    return ticket;
+  }
   if (reject != RejectReason::kNone) {
     // Reject without queueing: the ticket's future is satisfied here, so
     // tenants can treat every future uniformly.
@@ -103,6 +154,14 @@ void SolverService::drain() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+std::vector<JobId> SolverService::queued_order() const {
+  std::vector<JobId> ids;
+  std::unique_lock<std::mutex> lock(mu_);
+  ids.reserve(queue_.size());
+  for (const std::shared_ptr<JobState>& job : queue_) ids.push_back(job->id);
+  return ids;
+}
+
 void SolverService::shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -123,12 +182,20 @@ void SolverService::shutdown() {
   // Whatever the workers could not drain (only possible with zero
   // workers) resolves here: cancelled/expired jobs with their own status,
   // the rest as Rejected{kShuttingDown}.
-  std::deque<std::shared_ptr<JobState>> leftovers;
+  ReadyQueue leftovers;
   {
     std::unique_lock<std::mutex> lock(mu_);
     leftovers.swap(queue_);
   }
+  const auto now = std::chrono::steady_clock::now();
   for (const std::shared_ptr<JobState>& job : leftovers) {
+    // Wall-clock deadlines latch lazily (at barriers, pickup, or a
+    // watchdog sweep) — a queued job already past its deadline at shutdown
+    // may not have tripped its token yet, but it still owes the tenant
+    // kDeadlineExceeded, not a shutdown rejection.
+    if (!job->token.aborted() && job->has_deadline && now >= job->deadline) {
+      job->token.request_cancel(AbortReason::kDeadlineExceeded);
+    }
     SolverResult result;
     if (job->token.aborted()) {
       result = aborted_result(*job, job->token.reason(), /*attempts=*/0);
@@ -138,6 +205,7 @@ void SolverService::shutdown() {
       result.reject = RejectReason::kShuttingDown;
       result.attempts = 0;
     }
+    result.e2e_latency_ns = ns_between(job->enqueued, now);
     {
       std::unique_lock<std::mutex> lock(mu_);
       count_status(result);
@@ -162,6 +230,7 @@ ServiceStats SolverService::stats() const {
     s.deadline_exceeded = deadline_exceeded_;
     s.rejected = rejected_;
     s.retried = retried_;
+    s.submit_timeouts = submit_timeouts_;
     s.queued = queue_.size();
     s.running = static_cast<std::size_t>(in_flight_);
     // Averaged over jobs whose wait has been recorded (worker pickup), not
@@ -173,12 +242,17 @@ ServiceStats SolverService::stats() const {
                          : 0.0;
     s.max_queue_wait_ms = static_cast<double>(wait_ns_max_) / 1e6;
   }
-  s.plans_built = shared_pool_.topology_misses();
-  s.plans_shared = shared_pool_.topology_hits();
-  const std::int64_t lookups = s.plans_built + s.plans_shared;
+  // One coherent snapshot of the cache counters: hit rate, plans_built and
+  // plans_shared all derive from a single atomic load, so the rate always
+  // equals shared / (built + shared) for the very numbers reported.
+  const SharedNetworkPool::TopologyCounters counters =
+      shared_pool_.topology_counters();
+  s.plans_built = counters.misses;
+  s.plans_shared = counters.hits;
+  const std::int64_t lookups = counters.hits + counters.misses;
   s.cache_hit_rate =
       lookups > 0
-          ? static_cast<double>(s.plans_shared) / static_cast<double>(lookups)
+          ? static_cast<double>(counters.hits) / static_cast<double>(lookups)
           : 0.0;
   s.parked_run_states = shared_pool_.parked_run_states();
   return s;
@@ -217,7 +291,15 @@ void SolverService::count_status(const SolverResult& result) {
   if (result.attempts > 1) retried_ += result.attempts - 1;
 }
 
-SolverResult SolverService::run_job(JobState& job, NetworkPool& view) {
+SharedNetworkPool& SolverService::pool_for_threads(int engine_threads) {
+  std::lock_guard<std::mutex> lock(override_mu_);
+  std::unique_ptr<SharedNetworkPool>& pool = override_pools_[engine_threads];
+  if (!pool) pool = std::make_unique<SharedNetworkPool>(engine_threads);
+  return *pool;
+}
+
+SolverResult SolverService::run_job(JobState& job, NetworkPool& view,
+                                    int engine_threads) {
   int attempts = 0;
   for (;;) {
     // Pre-flight: a job cancelled or expired while it sat in the queue (or
@@ -234,7 +316,7 @@ SolverResult SolverService::run_job(JobState& job, NetworkPool& view) {
     try {
       DEC_FAULT_POINT_CTX("service.worker", &job.token);
       SolverResult result =
-          execute_request(job.req, cfg_.engine_threads, &view, &job.token);
+          execute_request(job.req, engine_threads, &view, &job.token);
       result.attempts = attempts;
       return result;
     } catch (const SolverAborted& aborted) {
@@ -262,8 +344,11 @@ SolverResult SolverService::run_job(JobState& job, NetworkPool& view) {
 void SolverService::worker_main() {
   // The worker's thread-confined view over the shared arena: run states it
   // acquires stay warm across this worker's jobs and park for other tenants
-  // when the service shuts down.
+  // when the service shuts down. Jobs with an engine_threads override get a
+  // lazily created view over the matching per-shard-count arena (kept for
+  // the worker's lifetime, so override jobs reuse run states too).
   NetworkPool view(shared_pool_);
+  std::map<int, std::unique_ptr<NetworkPool>> override_views;
   for (;;) {
     std::shared_ptr<JobState> job;
     {
@@ -271,20 +356,36 @@ void SolverService::worker_main() {
       cv_not_empty_.wait(lock,
                          [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // Pop the scheduler's pick: most urgent class, EDF within it,
+      // arrival order on ties (the ReadyQueue invariant).
+      job = *queue_.begin();
+      queue_.erase(queue_.begin());
       ++in_flight_;
-      const auto waited = std::chrono::steady_clock::now() - job->enqueued;
-      const auto ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
-              .count();
+      const std::int64_t ns =
+          ns_between(job->enqueued, std::chrono::steady_clock::now());
       ++waited_jobs_;
       wait_ns_total_ += ns;
       if (ns > wait_ns_max_) wait_ns_max_ = ns;
+      job->queue_wait_ns = ns;
     }
     cv_not_full_.notify_one();
 
-    SolverResult result = run_job(*job, view);
+    const int engine_threads = resolve_num_threads(
+        job->opts.engine_threads > 0 ? job->opts.engine_threads
+                                     : cfg_.engine_threads);
+    NetworkPool* job_view = &view;
+    if (engine_threads != shared_pool_.num_threads()) {
+      std::unique_ptr<NetworkPool>& slot = override_views[engine_threads];
+      if (!slot) {
+        slot = std::make_unique<NetworkPool>(pool_for_threads(engine_threads));
+      }
+      job_view = slot.get();
+    }
+
+    SolverResult result = run_job(*job, *job_view, engine_threads);
+    result.queue_wait_ns = job->queue_wait_ns;
+    result.e2e_latency_ns =
+        ns_between(job->enqueued, std::chrono::steady_clock::now());
     // Count the job before satisfying its future (a tenant reading stats()
     // right after future.get() must see it), but keep it in flight until
     // the future is satisfied (drain() returning must imply every future
@@ -304,13 +405,22 @@ void SolverService::worker_main() {
 }
 
 void SolverService::watchdog_main() {
+  // The sweep runs over a snapshot of the live set, outside mu_: holding
+  // the lock across the whole iteration would stall submit/pickup in
+  // proportion to the live-job count every period. request_cancel is
+  // thread-safe, and deadline/has_deadline are immutable after admission.
+  std::vector<std::shared_ptr<JobState>> snapshot;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_watchdog_.wait_for(lock, cfg_.watchdog_period,
                           [this] { return stopping_; });
     if (stopping_) return;  // drain relies on barrier/pre-flight checks
+    snapshot.clear();
+    snapshot.reserve(live_.size());
+    for (const auto& [id, job] : live_) snapshot.push_back(job);
+    lock.unlock();
     const auto now = std::chrono::steady_clock::now();
-    for (const auto& [id, job] : live_) {
+    for (const std::shared_ptr<JobState>& job : snapshot) {
       if (job->has_deadline && now >= job->deadline) {
         // Cooperative: the running solver observes the trip at its next
         // round barrier; a queued job resolves at pickup. This sweep is
@@ -320,6 +430,8 @@ void SolverService::watchdog_main() {
         job->token.request_cancel(AbortReason::kDeadlineExceeded);
       }
     }
+    snapshot.clear();  // drop job refs before re-acquiring the lock
+    lock.lock();
   }
 }
 

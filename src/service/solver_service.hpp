@@ -44,20 +44,39 @@
 //    (with linear backoff) before the failure is surfaced; any other
 //    exception is permanent on the first throw.
 //
-// Lifecycle: submit() blocks while the queue is full (backpressure);
-// shutdown() stops intake, lets the workers drain every queued job (each
-// resolves with its own status — a cancelled queued job still reports
-// kCancelled), and joins workers and watchdog; the destructor calls
-// shutdown().
+// Scheduling (PR 8): the ready queue is not a FIFO. Workers always pick
+//
+//   1. the most urgent priority class (SubmitOptions::priority — kHigh
+//      before kNormal before kLow; classes are strict: a lower class runs
+//      only when no higher-class job is ready),
+//   2. within a class, earliest deadline first (EDF) — deadlined jobs
+//      always ahead of deadline-less peers of the same class,
+//   3. ties (equal deadlines, or no deadlines) broken by arrival order.
+//
+// The order is deterministic given the admitted set (queued_order()
+// exposes it; tests/test_service_sched.cpp pins it with workers = 0).
+// Jobs may also carry a per-request engine_threads override: big jobs run
+// sharded, small jobs serial, on separate per-shard-count arenas — still
+// bit-identical to direct calls (the engine contract).
+//
+// Lifecycle: submit() blocks while the queue is full (backpressure) — but
+// never past the job's own deadline: a deadlined submit against a full
+// queue uses wait_until and resolves the future kDeadlineExceeded instead
+// of hanging (stats().submit_timeouts counts these). shutdown() stops
+// intake, lets the workers drain every queued job (each resolves with its
+// own status — a cancelled queued job still reports kCancelled, an expired
+// one kDeadlineExceeded), and joins workers and watchdog; the destructor
+// calls shutdown().
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +97,7 @@ struct ServiceConfig {
   /// Round-engine shards per job (the solvers' num_threads; 1 = serial
   /// engine, 0 = hardware concurrency). Results are bit-identical across
   /// engine shard counts; the default keeps jobs the unit of parallelism.
+  /// Individual jobs may override it (SubmitOptions::engine_threads).
   int engine_threads = 1;
   /// How often the watchdog sweeps live jobs for expired deadlines. The
   /// round barrier usually notices first; the watchdog covers jobs
@@ -93,6 +113,9 @@ struct ServiceStats {
   std::int64_t deadline_exceeded = 0;  // status kDeadlineExceeded
   std::int64_t rejected = 0;   // tickets/futures resolved kRejected
   std::int64_t retried = 0;    // transient-failure re-runs (attempts - 1)
+  /// Blocking submits that timed out on a full queue (their deadline
+  /// expired before space appeared); a subset of deadline_exceeded.
+  std::int64_t submit_timeouts = 0;
   // Queue occupancy at the instant of the snapshot.
   std::size_t queued = 0;
   std::size_t running = 0;
@@ -111,10 +134,24 @@ struct ServiceStats {
 /// carry 0).
 using JobId = std::uint64_t;
 
-/// Per-job failure-handling knobs. Everything defaults to off: no
-/// deadline, no round budget, no retries.
+/// Scheduling class. Strict priority: a kNormal job runs only when no
+/// kHigh job is ready, kLow only when neither is. Within one class the
+/// scheduler is EDF (earliest deadline first), deadline-less jobs behind
+/// every deadlined peer of the class, arrival order breaking ties.
+enum class Priority : int {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+const char* to_string(Priority p);
+
+/// Per-job scheduling and failure-handling knobs. Everything defaults to
+/// off/neutral: normal priority, no deadline, no round budget, no retries,
+/// the service's engine shard count.
 struct SubmitOptions {
-  /// Wall-clock deadline, measured from admission; zero = none.
+  /// Wall-clock deadline, measured from entry into submit()/try_submit()
+  /// — time spent blocked on a full queue counts against it; zero = none.
   std::chrono::nanoseconds deadline{0};
   /// Deterministic deadline: abort at the (round_budget + 1)-th round
   /// barrier; zero = none. Reports as kDeadlineExceeded.
@@ -124,6 +161,15 @@ struct SubmitOptions {
   int max_retries = 0;
   /// Backoff before retry i is backoff * i (linear).
   std::chrono::nanoseconds retry_backoff{std::chrono::milliseconds(1)};
+  /// Scheduling class (see Priority).
+  Priority priority = Priority::kNormal;
+  /// Per-request round-engine shard count: big jobs sharded, small jobs
+  /// serial. 0 = the service default (ServiceConfig::engine_threads);
+  /// results are bit-identical across shard counts (the engine contract,
+  /// pinned by tests/test_service_sched.cpp). Override jobs lease from a
+  /// per-shard-count arena, so they still share plans and run states with
+  /// jobs of the same override.
+  int engine_threads = 0;
 };
 
 /// What a tenant holds after submit()/try_submit(). The future is always
@@ -146,10 +192,14 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
-  /// Queue a job; blocks while the queue is full. Returns a rejected
-  /// ticket (never throws, never deadlocks) when the service is shutting
-  /// down — including when shutdown() arrives while this call is blocked
-  /// waiting for space. Callable from any thread.
+  /// Queue a job; blocks while the queue is full — but never past the
+  /// job's own deadline: with opts.deadline set, a full-queue wait is
+  /// wait_until-bounded, and on expiry the ticket comes back unaccepted
+  /// with its future already resolved kDeadlineExceeded (counted in
+  /// stats().submit_timeouts). Returns a rejected ticket (never throws,
+  /// never deadlocks) when the service is shutting down — including when
+  /// shutdown() arrives while this call is blocked waiting for space.
+  /// Callable from any thread.
   JobTicket submit(SolverRequest req, SubmitOptions opts = {});
 
   /// Non-blocking admission control: a Rejected{kQueueFull} ticket when the
@@ -173,7 +223,15 @@ class SolverService {
 
   ServiceStats stats() const;
 
+  /// The queued (not yet picked up) jobs in exactly the order workers
+  /// would pop them: priority class, then EDF, then arrival. Snapshot
+  /// under the queue lock; meant for tests (deterministic with
+  /// workers = 0) and observability, not for scheduling decisions.
+  std::vector<JobId> queued_order() const;
+
   /// The arena shared by every worker (e.g. to pre-warm topology plans).
+  /// Jobs with an engine_threads override lease from separate
+  /// per-shard-count arenas instead (plans depend on the shard count).
   SharedNetworkPool& shared_pool() { return shared_pool_; }
 
   const ServiceConfig& config() const { return cfg_; }
@@ -182,28 +240,59 @@ class SolverService {
   /// One admitted job. Shared between the queue/worker, the live-job index
   /// (cancel/watchdog), and nothing else; the promise is satisfied exactly
   /// once, by the worker that popped it or by shutdown's leftover sweep.
+  /// Every field except the token and promise is written once, at
+  /// admission, before the job is published to the queue — the watchdog
+  /// reads deadline/has_deadline outside the lock on that basis.
   struct JobState {
     JobId id = 0;
     SolverRequest req;
     SubmitOptions opts;
     std::promise<SolverResult> promise;
     CancelToken token;
-    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point enqueued;  // submit entry
     std::chrono::steady_clock::time_point deadline;  // valid iff has_deadline
     bool has_deadline = false;
+    std::int64_t queue_wait_ns = 0;  // recorded at worker pickup
   };
+
+  /// Scheduling order (strict weak, total via the id tie-break): priority
+  /// class, then deadlined-before-deadline-less, then EDF, then arrival.
+  struct SchedOrder {
+    bool operator()(const std::shared_ptr<JobState>& a,
+                    const std::shared_ptr<JobState>& b) const {
+      if (a->opts.priority != b->opts.priority) {
+        return a->opts.priority < b->opts.priority;
+      }
+      if (a->has_deadline != b->has_deadline) return a->has_deadline;
+      if (a->has_deadline && a->deadline != b->deadline) {
+        return a->deadline < b->deadline;
+      }
+      return a->id < b->id;  // ids are assigned in arrival order
+    }
+  };
+  /// The ready queue: ordered set, workers pop *begin(). Insert/pop are
+  /// O(log queued) — queues are bounded by queue_capacity, so this is
+  /// cheap next to a solver run.
+  using ReadyQueue = std::set<std::shared_ptr<JobState>, SchedOrder>;
 
   void worker_main();
   void watchdog_main();
 
   /// Admission: price the ticket under the lock. Returns an accepted
-  /// ticket with the job queued, or a rejected ticket (promise already
-  /// satisfied) without side effects on the queue.
+  /// ticket with the job queued, or a rejected/expired ticket (promise
+  /// already satisfied) without side effects on the queue.
   JobTicket admit(SolverRequest req, SubmitOptions opts, bool blocking);
 
   /// Run one job to a terminal SolverResult (never throws): cancel/deadline
   /// checks, the solver itself, and the bounded transient-retry loop.
-  SolverResult run_job(JobState& job, NetworkPool& view);
+  /// `engine_threads` is the job's resolved shard count; `view` leases from
+  /// the matching arena.
+  SolverResult run_job(JobState& job, NetworkPool& view, int engine_threads);
+
+  /// The arena for a resolved engine_threads override (created on first
+  /// use, kept for the service lifetime). The default count maps to
+  /// shared_pool_.
+  SharedNetworkPool& pool_for_threads(int engine_threads);
 
   /// Terminal result for a tripped token / SolverAborted unwind.
   SolverResult aborted_result(const JobState& job, AbortReason reason,
@@ -214,13 +303,17 @@ class SolverService {
 
   ServiceConfig cfg_;
   SharedNetworkPool shared_pool_;
+  /// Arenas for engine_threads overrides, keyed by resolved shard count
+  /// (plans depend on it, so overrides cannot share shared_pool_'s).
+  std::mutex override_mu_;
+  std::map<int, std::unique_ptr<SharedNetworkPool>> override_pools_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_not_empty_;
   std::condition_variable cv_not_full_;
   std::condition_variable cv_idle_;  // queue empty and no job in flight
   std::condition_variable cv_watchdog_;
-  std::deque<std::shared_ptr<JobState>> queue_;
+  ReadyQueue queue_;
   /// Queued + running jobs by id (cancel() and the watchdog resolve
   /// targets here); erased once the future is satisfied.
   std::unordered_map<JobId, std::shared_ptr<JobState>> live_;
@@ -236,6 +329,7 @@ class SolverService {
   std::int64_t deadline_exceeded_ = 0;
   std::int64_t rejected_ = 0;
   std::int64_t retried_ = 0;
+  std::int64_t submit_timeouts_ = 0;
   std::int64_t waited_jobs_ = 0;  // jobs whose queue wait has been recorded
   std::int64_t wait_ns_total_ = 0;
   std::int64_t wait_ns_max_ = 0;

@@ -411,5 +411,66 @@ TEST_F(ChaosTest, CancelWaveOverRunningBatch) {
   EXPECT_EQ(stats.completed, ok);
 }
 
+TEST_F(ChaosTest, PriorityClassesSurviveFaultsWithoutStarvation) {
+  // PR 8 scheduler under chaos: the mixed batch carries all three priority
+  // classes (round-robin) while transient faults and worker latency churn
+  // the pickup order. Strict priority must not become starvation — every
+  // class finishes jobs (the queue drains, so kLow runs once its betters
+  // are done), every future resolves with a clean status, and kOk results
+  // stay bit-identical to fault-free direct calls.
+  const std::vector<SolverRequest> reqs = mixed_batch();
+  std::vector<SolverResult> refs;
+  refs.reserve(reqs.size());
+  for (const SolverRequest& req : reqs) refs.push_back(execute_request(req));
+
+  fault::FaultPlan round_plan;
+  round_plan.action = fault::Action::kThrowTransient;
+  round_plan.fire_at = 100;
+  round_plan.period = 900;
+  fault::arm("network.round", round_plan);
+  fault::FaultPlan delay_plan;
+  delay_plan.action = fault::Action::kDelay;
+  delay_plan.fire_at = 2;
+  delay_plan.period = 4;
+  delay_plan.delay = std::chrono::microseconds(500);
+  fault::arm("service.worker", delay_plan);
+
+  constexpr Priority kClasses[] = {Priority::kHigh, Priority::kNormal,
+                                   Priority::kLow};
+  SolverService service({.workers = 2, .queue_capacity = 8});
+  std::vector<JobTicket> tickets;
+  tickets.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    SubmitOptions opts;
+    opts.priority = kClasses[i % 3];
+    opts.max_retries = 4;
+    opts.retry_backoff = std::chrono::microseconds(50);
+    tickets.push_back(service.submit(reqs[i], opts));
+  }
+
+  int ok_per_class[3] = {0, 0, 0};
+  int failed = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].accepted) << "job " << i;
+    const SolverResult got = tickets[i].result.get();
+    if (got.status == SolverStatus::kOk) {
+      ++ok_per_class[i % 3];
+      expect_identical(refs[i], got, static_cast<int>(i));
+    } else {
+      ASSERT_EQ(got.status, SolverStatus::kFailed)
+          << "job " << i << ": " << to_string(got.status);
+      ++failed;
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_GT(ok_per_class[c], 0)
+        << "class " << to_string(kClasses[c]) << " starved";
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed + stats.failed,
+            static_cast<std::int64_t>(reqs.size()));
+  EXPECT_EQ(stats.failed, failed);
+}
+
 }  // namespace
 }  // namespace dec

@@ -10,6 +10,7 @@
 // TSan.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -271,6 +272,21 @@ TEST(SolverService, StressMixedJobsBitIdenticalToDirectCalls) {
   cfg.workers = 4;
   cfg.queue_capacity = 8;  // smaller than the batch: exercises backpressure
   SolverService service(cfg);
+  // Poll stats() concurrently with the churn: the cache counters are one
+  // coherent snapshot, so the reported rate must agree *exactly* with the
+  // hit/miss pair it came with (the old two-atomic read could disagree).
+  std::atomic<bool> stop_poller{false};
+  std::thread poller([&] {
+    while (!stop_poller.load(std::memory_order_relaxed)) {
+      const ServiceStats s = service.stats();
+      const std::int64_t lookups = s.plans_built + s.plans_shared;
+      const double expect =
+          lookups > 0 ? static_cast<double>(s.plans_shared) /
+                            static_cast<double>(lookups)
+                      : 0.0;
+      ASSERT_EQ(s.cache_hit_rate, expect);
+    }
+  });
   std::vector<JobTicket> tickets;
   tickets.reserve(reqs.size());
   for (const SolverRequest& req : reqs) {
@@ -283,6 +299,8 @@ TEST(SolverService, StressMixedJobsBitIdenticalToDirectCalls) {
     EXPECT_EQ(got.attempts, 1) << "job " << i;
     expect_same_result(refs[i], got, static_cast<int>(i));
   }
+  stop_poller.store(true, std::memory_order_relaxed);
+  poller.join();
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.submitted, static_cast<std::int64_t>(reqs.size()));
