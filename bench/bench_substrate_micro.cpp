@@ -139,6 +139,26 @@ void BM_NetworkRoundFast(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRoundFast)->Arg(1000)->Arg(10000);
 
+// BM_NetworkRoundFast on the 16 B narrow slot plane (declared width 1):
+// same single-field echo workload, so the delta to BM_NetworkRoundFast is
+// the round-path bandwidth win of the 4x smaller slots.
+void BM_NetworkRoundNarrow(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g, nullptr, "network", 1,
+                  SlotPlan{SlotFormat::kNarrow, 1});
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+  state.counters["bytes_per_node"] = static_cast<double>(net.memory_bytes()) /
+                                     static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_NetworkRoundNarrow)->Arg(1000)->Arg(10000);
+
 // BM_NetworkRoundFast with an installed (never-tripping) CancelToken: the
 // cost of the relaxed aborted() load the barrier pays per round when a
 // token is present. Compare against BM_NetworkRoundFast for the delta.

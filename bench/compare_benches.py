@@ -205,7 +205,20 @@ def self_test():
     assert report(base, parse({"benchmarks": []}), 10.0,
                   out=sink, err=sink) == 1
 
-    # 5. items_per_second medians ride along.
+    # 5. Rows new in the new run (e.g. a narrow-plane bench added alongside
+    # its wide sibling) are reported as baseline-less, never flagged: adding
+    # a benchmark must not trip BENCH_FAIL_ON_REGRESSION.
+    widened = parse({"benchmarks": [
+        _bench("BM_X/10", 100.0),
+        _bench("BM_NetworkRoundNarrow/10000", 50.0, items=2.0),
+    ]})
+    new_sink = io.StringIO()
+    assert report(base, widened, 10.0, out=new_sink, err=new_sink) == 0
+    assert "BM_NetworkRoundNarrow/10000" in new_sink.getvalue(), \
+        new_sink.getvalue()
+    assert "no baseline" in new_sink.getvalue(), new_sink.getvalue()
+
+    # 6. items_per_second medians ride along.
     ips = parse({"benchmarks": [
         _bench("BM_X/10", 100.0, items=1.0),
         _bench("BM_X/10", 100.0, items=3.0),
@@ -213,7 +226,7 @@ def self_test():
     ]})
     assert ips["BM_X/10"]["items_per_second"] == 3.0, ips
 
-    # 6. service_load JSON parses into percentile/time rows (ms -> ns) and
+    # 7. service_load JSON parses into percentile/time rows (ms -> ns) and
     # regresses through the same flagging path as microbench rows.
     svc = {
         "kind": "service_load",

@@ -85,22 +85,23 @@ DefectiveResult precolor_message_passing(const Graph& g,
                                          const PrecolorParams& p,
                                          RoundLedger* ledger,
                                          int num_threads, NetworkPool* pool,
-                                         CancelToken* cancel) {
+                                         CancelToken* cancel,
+                                         SlotFormat slot_format) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = static_cast<int>(p.q * p.q);
   res.colors.resize(static_cast<std::size_t>(n));
   ScopedNetwork net_scope(pool, g, ledger, "defective_precolor", num_threads,
-                          cancel);
+                          cancel, SlotPlan{slot_format, 1});
   SyncNetwork& net = *net_scope;
   // The one round: every node announces its input color on every edge.
-  net.round_fast([&](NodeId v, const Inbox&, Outbox& out) {
-    for (auto& m : out) {
-      m = Message{input[static_cast<std::size_t>(v)]};
+  net.round_fast([&](NodeId v, const auto&, auto&& out) {
+    for (auto&& m : out) {
+      m.assign({input[static_cast<std::size_t>(v)]});
     }
   });
   // Receiving and the polynomial evaluation are local, hence free.
-  net.drain_fast([&](NodeId v, const Inbox& in) {
+  net.drain_fast([&](NodeId v, const auto& in) {
     res.colors[static_cast<std::size_t>(v)] = precolor_choose(
         input[static_cast<std::size_t>(v)], p.q, p.d, in.size(),
         [&](std::size_t i) { return in[i].at(0); });
@@ -132,7 +133,8 @@ DefectiveResult refine_message_passing(const Graph& g,
                                        int move_threshold, int max_sweeps,
                                        RoundLedger* ledger, int num_threads,
                                        bool dirty_announce, NetworkPool* pool,
-                                       CancelToken* cancel) {
+                                       CancelToken* cancel,
+                                       SlotFormat slot_format) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = num_colors;
@@ -143,7 +145,7 @@ DefectiveResult refine_message_passing(const Graph& g,
   }
 
   ScopedNetwork net_scope(pool, g, ledger, "defective_refine", num_threads,
-                          cancel);
+                          cancel, SlotPlan{slot_format, 1});
   SyncNetwork& net = *net_scope;
 
   // Per-node neighbor-color cache, laid out on the network's own slot plane
@@ -160,7 +162,7 @@ DefectiveResult refine_message_passing(const Graph& g,
   // to its min-conflict color unless a smaller-id neighbor also intended
   // (only same-class nodes intend in any given round, so message presence
   // is the whole arbitration input).
-  auto apply_pending = [&](NodeId v, const Inbox& in) {
+  auto apply_pending = [&](NodeId v, const auto& in) {
     if (intent[static_cast<std::size_t>(v)] == 0) return;
     intent[static_cast<std::size_t>(v)] = 0;
     const auto nb = g.neighbors(v);
@@ -190,17 +192,17 @@ DefectiveResult refine_message_passing(const Graph& g,
     for (Color cls = 0; cls < num_classes; ++cls) {
       // Round A: settle the previous step's arbitration, announce colors —
       // all of them, or (dirty-flagged) only the ones that changed.
-      net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+      net.round_fast([&](NodeId v, const auto& in, auto&& out) {
         apply_pending(v, in);
         if (dirty_announce && dirty[static_cast<std::size_t>(v)] == 0) return;
         dirty[static_cast<std::size_t>(v)] = 0;
-        for (auto& m : out) {
-          m = Message{res.colors[static_cast<std::size_t>(v)]};
+        for (auto&& m : out) {
+          m.assign({res.colors[static_cast<std::size_t>(v)]});
         }
       });
       // Round B: fold announced changes into the caches; this class's
       // over-threshold members broadcast an intent to move.
-      net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+      net.round_fast([&](NodeId v, const auto& in, auto&& out) {
         int defect = 0;
         const Color mine = res.colors[static_cast<std::size_t>(v)];
         for (std::size_t i = 0; i < in.size(); ++i) {
@@ -212,7 +214,7 @@ DefectiveResult refine_message_passing(const Graph& g,
         if (classes[static_cast<std::size_t>(v)] != cls) return;
         if (defect > move_threshold) {
           intent[static_cast<std::size_t>(v)] = 1;
-          for (auto& m : out) m = Message{1};
+          for (auto&& m : out) m.assign({1});
         }
       });
       if (!any_intent) {
@@ -225,7 +227,7 @@ DefectiveResult refine_message_passing(const Graph& g,
   }
   // The last class-step's arbitration is still in flight; consuming it is
   // receive-side computation and costs no round.
-  net.drain_fast([&](NodeId v, const Inbox& in) { apply_pending(v, in); });
+  net.drain_fast([&](NodeId v, const auto& in) { apply_pending(v, in); });
 
   res.rounds = net.rounds_executed();
   res.max_message_bits = net.audit().max_bits();
@@ -239,7 +241,8 @@ DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger, int num_threads,
-                                   NetworkPool* pool, CancelToken* cancel) {
+                                   NetworkPool* pool, CancelToken* cancel,
+                                   SlotFormat slot_format) {
   DEC_REQUIRE(target_defect >= 1, "target defect must be >= 1");
   DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
   for (const Color c : input) {
@@ -250,7 +253,8 @@ DefectiveResult defective_precolor(const Graph& g,
   const PrecolorParams p = precolor_params(m, delta, target_defect);
 
   DefectiveResult res =
-      precolor_message_passing(g, input, p, ledger, num_threads, pool, cancel);
+      precolor_message_passing(g, input, p, ledger, num_threads, pool, cancel,
+                               slot_format);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   DEC_CHECK(res.max_defect <= target_defect,
             "defective precolor exceeded its defect target");
@@ -263,7 +267,7 @@ DefectiveResult defective_refine(const Graph& g,
                                  int move_threshold, int max_sweeps,
                                  RoundLedger* ledger, int num_threads,
                                  bool dirty_announce, NetworkPool* pool,
-                                 CancelToken* cancel) {
+                                 CancelToken* cancel, SlotFormat slot_format) {
   DEC_REQUIRE(num_colors >= 2, "refine needs at least two colors");
   DEC_REQUIRE(move_threshold >= (g.max_degree() / num_colors) + 1,
               "threshold too tight: moving nodes could never settle");
@@ -276,7 +280,7 @@ DefectiveResult defective_refine(const Graph& g,
   DefectiveResult res =
       refine_message_passing(g, classes, num_classes, num_colors,
                              move_threshold, max_sweeps, ledger, num_threads,
-                             dirty_announce, pool, cancel);
+                             dirty_announce, pool, cancel, slot_format);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   if (!res.converged) {
     // The cap was generous; reaching it without meeting the contract means a
@@ -291,7 +295,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                      const std::vector<Color>& input,
                                      int input_palette, double eps,
                                      RoundLedger* ledger, int num_threads,
-                                     NetworkPool* pool, CancelToken* cancel) {
+                                     NetworkPool* pool, CancelToken* cancel,
+                                     SlotFormat slot_format) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   const int delta = g.max_degree();
   const int target = static_cast<int>(eps * delta) + delta / 2;
@@ -322,7 +327,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
   // Half the ε budget to the precoloring defect, half to the refine margin.
   const int pre_defect = std::max(1, static_cast<int>(eps * delta / 2.0));
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
-                                           ledger, num_threads, pool, cancel);
+                                           ledger, num_threads, pool, cancel,
+                                           slot_format);
 
   const int margin = std::max(1, static_cast<int>(eps * delta / 4.0));
   // At small Δ the flat +margin +pre_defect headroom can exceed the Lemma
@@ -336,7 +342,7 @@ DefectiveResult defective_4_coloring(const Graph& g,
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, 4, threshold, max_sweeps,
                        ledger, num_threads, /*dirty_announce=*/true, pool,
-                       cancel);
+                       cancel, slot_format);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   ref.messages += pre.messages;
@@ -351,7 +357,8 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int target_defect,
                                          RoundLedger* ledger,
                                          int num_threads, NetworkPool* pool,
-                                         CancelToken* cancel) {
+                                         CancelToken* cancel,
+                                         SlotFormat slot_format) {
   const int delta = g.max_degree();
   DEC_REQUIRE(target_defect >= delta / num_colors + 1,
               "target defect below the pigeonhole floor");
@@ -365,13 +372,14 @@ DefectiveResult defective_split_coloring(const Graph& g,
   // possible), then refine.
   const int pre_defect = std::max(1, target_defect / 2);
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
-                                           ledger, num_threads, pool, cancel);
+                                           ledger, num_threads, pool, cancel,
+                                           slot_format);
   const int threshold = std::max(delta / num_colors + 1,
                                  target_defect - pre_defect);
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, num_colors, threshold, 256,
                        ledger, num_threads, /*dirty_announce=*/true, pool,
-                       cancel);
+                       cancel, slot_format);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   ref.messages += pre.messages;

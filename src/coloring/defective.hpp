@@ -40,6 +40,7 @@
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
 #include "sim/ledger.hpp"
+#include "sim/message.hpp"
 
 namespace dec {
 
@@ -60,13 +61,17 @@ struct DefectiveResult {
 /// One-round defect/palette trade-off. Input: proper coloring with values in
 /// [0, input_palette). Output: target_defect-defective coloring with palette
 /// q² where q = next_prime(max(2, ceil(Δ·d / target_defect))).
+/// All defective stages announce exactly one field per edge per round
+/// (a color or an intent bit), so they default to the 16 B narrow slot
+/// plane (declared width 1) — bit-identical to SlotFormat::kWide.
 DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger = nullptr,
                                    int num_threads = 1,
                                    NetworkPool* pool = nullptr,
-                                   CancelToken* cancel = nullptr);
+                                   CancelToken* cancel = nullptr,
+                                   SlotFormat slot_format = SlotFormat::kNarrow);
 
 /// Threshold local search over the classes of `classes` (any coloring with
 /// values in [0, num_classes); independence not required). Produces a
@@ -83,7 +88,8 @@ DefectiveResult defective_refine(const Graph& g,
                                  int num_threads = 1,
                                  bool dirty_announce = true,
                                  NetworkPool* pool = nullptr,
-                                 CancelToken* cancel = nullptr);
+                                 CancelToken* cancel = nullptr,
+                                 SlotFormat slot_format = SlotFormat::kNarrow);
 
 /// Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring from a proper O(Δ²)-coloring.
 DefectiveResult defective_4_coloring(const Graph& g,
@@ -92,7 +98,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                      RoundLedger* ledger = nullptr,
                                      int num_threads = 1,
                                      NetworkPool* pool = nullptr,
-                                     CancelToken* cancel = nullptr);
+                                     CancelToken* cancel = nullptr,
+                                     SlotFormat slot_format = SlotFormat::kNarrow);
 
 /// General split: num_colors-coloring with defect ≤ target_defect, where
 /// target_defect must be ≥ ceil(Δ/num_colors) + 1. Used by Theorem D.4's
@@ -104,6 +111,7 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          RoundLedger* ledger = nullptr,
                                          int num_threads = 1,
                                          NetworkPool* pool = nullptr,
-                                         CancelToken* cancel = nullptr);
+                                         CancelToken* cancel = nullptr,
+                                         SlotFormat slot_format = SlotFormat::kNarrow);
 
 }  // namespace dec

@@ -55,7 +55,7 @@ std::int64_t eval_digit_poly(std::int64_t color, std::int64_t q, int d,
 LinialResult linial_color(const Graph& g, RoundLedger* ledger,
                           std::vector<Color> initial, std::int64_t id_space,
                           int num_threads, NetworkPool* pool,
-                          CancelToken* cancel) {
+                          CancelToken* cancel, SlotFormat slot_format) {
   const NodeId n = g.num_nodes();
   if (initial.empty()) {
     initial.resize(static_cast<std::size_t>(n));
@@ -83,8 +83,10 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
     return res;
   }
 
-  // ScopedNetwork resolves the 0-means-hardware convention itself.
-  ScopedNetwork net_scope(pool, g, ledger, "linial", num_threads, cancel);
+  // ScopedNetwork resolves the 0-means-hardware convention itself. Every
+  // Linial message is exactly one color, so the declared slot width is 1.
+  ScopedNetwork net_scope(pool, g, ledger, "linial", num_threads, cancel,
+                          SlotPlan{slot_format, 1});
   SyncNetwork& net = *net_scope;
   std::int64_t m = id_space;
 
@@ -110,20 +112,20 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
   // previous generation of colors, adopt the reduced color, announce it.
   // Node programs write only work/next[v] and their own outbox, so they are
   // safe on the parallel engine and deterministic either way.
-  net.round_fast([&](NodeId v, const Inbox&, Outbox& outbox) {
-    for (auto& msg : outbox) msg = Message{work[static_cast<std::size_t>(v)]};
+  net.round_fast([&](NodeId v, const auto&, auto&& outbox) {
+    for (auto&& msg : outbox) msg.assign({work[static_cast<std::size_t>(v)]});
   });
 
   for (const LinialStep step : schedule) {
     std::vector<std::int64_t> next(work);
-    net.round_fast([&](NodeId v, const Inbox& inbox, Outbox& outbox) {
+    net.round_fast([&](NodeId v, const auto& inbox, auto&& outbox) {
       const std::int64_t mine = work[static_cast<std::size_t>(v)];
       // Find r with no collision against any neighbor polynomial.
       std::int64_t chosen_r = -1;
       for (std::int64_t r = 0; r < step.q && chosen_r < 0; ++r) {
         const std::int64_t my_val = eval_digit_poly(mine, step.q, step.d, r);
         bool clash = false;
-        for (const Message& msg : inbox) {
+        for (const auto& msg : inbox) {
           DEC_CHECK(!msg.empty(), "Linial expects a color from every neighbor");
           if (eval_digit_poly(msg.at(0), step.q, step.d, r) == my_val) {
             clash = true;
@@ -136,7 +138,9 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
                 "Linial: no collision-free evaluation point (q > Δ·d violated?)");
       const std::int64_t val = eval_digit_poly(mine, step.q, step.d, chosen_r);
       next[static_cast<std::size_t>(v)] = chosen_r * step.q + val;
-      for (auto& msg : outbox) msg = Message{next[static_cast<std::size_t>(v)]};
+      for (auto&& msg : outbox) {
+        msg.assign({next[static_cast<std::size_t>(v)]});
+      }
     });
     work = std::move(next);
     m = step.q * step.q;
@@ -157,9 +161,10 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
 
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger,
                                int num_threads, NetworkPool* pool,
-                               CancelToken* cancel) {
+                               CancelToken* cancel, SlotFormat slot_format) {
   const Graph lg = line_graph(g);
-  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads, pool, cancel);
+  LinialResult res = linial_color(lg, ledger, {}, 0, num_threads, pool, cancel,
+                                  slot_format);
   DEC_CHECK(is_proper_edge_coloring(g, res.colors),
             "line-graph coloring is not a proper edge coloring");
   return res;

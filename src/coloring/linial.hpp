@@ -19,6 +19,7 @@
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
 #include "sim/ledger.hpp"
+#include "sim/message.hpp"
 
 namespace dec {
 
@@ -49,11 +50,15 @@ LinialStep linial_step_params(std::int64_t m, int max_degree);
 /// the network from an arena — callers that run several substrate stages on
 /// the same graph (congest coloring's Linial + defective stages) share one
 /// topology plan and buffer arena this way.
+/// `slot_format` picks the network's slot-plane format. Linial announces
+/// exactly one color per edge per round, so it defaults to the 16 B narrow
+/// plane (declared width 1) — bit-identical to kWide, ~4x less plane memory.
 LinialResult linial_color(const Graph& g, RoundLedger* ledger = nullptr,
                           std::vector<Color> initial = {},
                           std::int64_t id_space = 0, int num_threads = 1,
                           NetworkPool* pool = nullptr,
-                          CancelToken* cancel = nullptr);
+                          CancelToken* cancel = nullptr,
+                          SlotFormat slot_format = SlotFormat::kNarrow);
 
 /// Run Linial on the line graph of g, producing a proper *edge* coloring of g
 /// with O(Δ̄²) colors in O(log* m) rounds. (In LOCAL/CONGEST a node simulates
@@ -62,6 +67,7 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger = nullptr,
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger = nullptr,
                                int num_threads = 1,
                                NetworkPool* pool = nullptr,
-                               CancelToken* cancel = nullptr);
+                               CancelToken* cancel = nullptr,
+                               SlotFormat slot_format = SlotFormat::kNarrow);
 
 }  // namespace dec

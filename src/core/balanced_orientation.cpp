@@ -68,8 +68,10 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
     own_pool.emplace(num_threads);
     pool = &*own_pool;
   }
+  // Widest message is round A's (x, ud) announcement on unoriented edges.
   ScopedNetwork net_scope(pool, g, ledger, "balanced_orientation",
-                          num_threads, cancel);
+                          num_threads, cancel,
+                          SlotPlan{params.slot_format, 2});
   SyncNetwork& net = *net_scope;
 
   // Node-owned state (each slot written only by its owning node's program,
@@ -105,7 +107,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
   // Consume in-flight accept notifications: a non-empty message on a
   // still-unoriented incidence means the neighbor oriented that edge toward
   // itself in the previous accept round.
-  auto apply_accepts = [&](NodeId v, const Inbox& in) {
+  auto apply_accepts = [&](NodeId v, const auto& in) {
     const auto nb = g.neighbors(v);
     for (std::size_t i = 0; i < nb.size(); ++i) {
       if (inc_unoriented[net.slot(v, i)] == 0) continue;
@@ -139,7 +141,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
     std::copy(x.begin(), x.end(), x_prev.begin());
 
     // Round A: consume last phase's accepts, announce (x, ud).
-    net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+    net.round_fast([&](NodeId v, const auto& in, auto&& out) {
       apply_accepts(v, in);
       const auto nb = g.neighbors(v);
       const auto xv = static_cast<std::int64_t>(x[static_cast<std::size_t>(v)]);
@@ -147,9 +149,9 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
           static_cast<std::int64_t>(ud[static_cast<std::size_t>(v)]);
       for (std::size_t i = 0; i < nb.size(); ++i) {
         if (inc_unoriented[net.slot(v, i)] != 0) {
-          out[i] = Message{xv, udv};
+          out[i].assign({xv, udv});
         } else {
-          out[i] = Message{xv};
+          out[i].assign({xv});
         }
       }
     });
@@ -158,7 +160,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
     // (both endpoints hold both announcements, so the proposal itself needs
     // no message), accepts the k_φ lowest edge ids, and notifies the tails.
     const std::int64_t kphi = k_phi(nu, dbar, phi);
-    net.round_fast([&](NodeId w, const Inbox& in, Outbox& out) {
+    net.round_fast([&](NodeId w, const auto& in, auto&& out) {
       const auto nb = g.neighbors(w);
       const bool w_in_u = parts.in_u(w);
       struct Cand {
@@ -172,7 +174,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
       cands.clear();
       for (std::size_t i = 0; i < nb.size(); ++i) {
         if (inc_unoriented[net.slot(w, i)] == 0) continue;
-        const Message& msg = in[i];
+        const auto& msg = in[i];
         DEC_CHECK(msg.size() == 2, "unoriented-edge announcement malformed");
         const EdgeId e = nb[i].edge;
         const double de =
@@ -204,7 +206,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
         pend_dmin[static_cast<std::size_t>(w)] =
             std::min(pend_dmin[static_cast<std::size_t>(w)],
                      static_cast<std::int64_t>(g.edge_degree(e)));
-        out[cands[c].i] = Message{1};  // accept: tail learns next round
+        out[cands[c].i].assign({1});  // accept: tail learns next round
       }
       accepted_count[static_cast<std::size_t>(w)] = static_cast<int>(take);
     });
@@ -265,6 +267,7 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
         tokens[static_cast<std::size_t>(v)] =
             std::min<int>(accepted_count[static_cast<std::size_t>(v)], tp.k);
       }
+      tp.slot_format = params.slot_format;
       TokenDroppingResult game_res = run_token_dropping(
           game, std::move(tokens), tp, ledger, num_threads, pool, cancel);
       game_rounds += game_res.rounds;
@@ -305,15 +308,15 @@ BalancedOrientationResult balanced_orientation(const Graph& g,
   // notifications may still be in flight, so they are consumed first.
   res.leftover_edges = m - num_oriented;
   if (res.leftover_edges > 0) {
-    net.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
+    net.round_fast([&](NodeId v, const auto& in, auto&& out) {
       apply_accepts(v, in);
       const auto nb = g.neighbors(v);
       for (std::size_t i = 0; i < nb.size(); ++i) {
         if (inc_unoriented[net.slot(v, i)] == 0) continue;
-        if (nb[i].neighbor < v) out[i] = Message{1};
+        if (nb[i].neighbor < v) out[i].assign({1});
       }
     });
-    net.drain_fast([&](NodeId v, const Inbox& in) {
+    net.drain_fast([&](NodeId v, const auto& in) {
       const auto nb = g.neighbors(v);
       for (std::size_t i = 0; i < nb.size(); ++i) {
         if (inc_unoriented[net.slot(v, i)] == 0) continue;

@@ -41,7 +41,7 @@ bool sender_less(std::int64_t deg_a, std::int64_t alpha_a, NodeId node_a,
 TokenDroppingResult token_dropping_message_passing(
     const Digraph& game, std::vector<int> x0, int k, int delta,
     const std::vector<int>& alpha, RoundLedger* ledger, int num_threads,
-    NetworkPool* pool, CancelToken* cancel) {
+    NetworkPool* pool, CancelToken* cancel, SlotFormat slot_format) {
   const NodeId n = game.num_nodes();
   TokenDroppingResult res;
 
@@ -52,8 +52,9 @@ TokenDroppingResult token_dropping_message_passing(
   std::vector<char> passive(static_cast<std::size_t>(game.num_arcs()), 0);
   std::vector<std::int64_t> moved(static_cast<std::size_t>(n), 0);
 
+  // Widest per-arc payload is R1's {deg, α} announcement.
   ScopedDiNetwork net_scope(pool, game, ledger, "token_dropping", num_threads,
-                            cancel);
+                            cancel, SlotPlan{slot_format, 2});
   DiNetwork& net = *net_scope;
 
   // Receive-side half of a transfer: the accept that was in flight arrives
@@ -61,7 +62,7 @@ TokenDroppingResult token_dropping_message_passing(
   // its sender in R3 (the only writer of that flag), so receivers touch only
   // their own token count — R1 reads `passive` concurrently for the
   // announcements and must see no same-round writes.
-  auto consume_accepts = [&](NodeId v, const DiInbox& in) {
+  auto consume_accepts = [&](NodeId v, const auto& in) {
     const std::size_t in_deg = game.in(v).size();
     for (std::size_t j = 0; j < in_deg; ++j) {
       if (!in.along(j).empty()) ++x[static_cast<std::size_t>(v)];
@@ -76,7 +77,7 @@ TokenDroppingResult token_dropping_message_passing(
   const std::int64_t num_phases = k / delta - 1;
   for (std::int64_t t = 1; t <= num_phases; ++t) {
     // R1: arrivals, activity, retirement, announcements.
-    net.round_fast([&](NodeId v, const DiInbox& in, DiOutbox& out) {
+    net.round_fast([&](NodeId v, const auto& in, DiOutbox& out) {
       consume_accepts(v, in);
       // Activity needs no shared flag: it is conveyed to the only parties
       // who care (the heads of still-active out-arcs) by the announcement.
@@ -95,7 +96,7 @@ TokenDroppingResult token_dropping_message_passing(
       }
     });
     // R2: receivers rank announcing senders and request tokens.
-    net.round_fast([&](NodeId v, const DiInbox& in, DiOutbox& out) {
+    net.round_fast([&](NodeId v, const auto& in, DiOutbox& out) {
       const std::int64_t capacity = static_cast<std::int64_t>(k) - t * delta -
                                     alpha[static_cast<std::size_t>(v)];
       if (x[static_cast<std::size_t>(v)] > capacity) return;
@@ -134,7 +135,7 @@ TokenDroppingResult token_dropping_message_passing(
       }
     });
     // R3: senders grant requests in (receiver, arc) order and ship tokens.
-    net.round_fast([&](NodeId v, const DiInbox& in, DiOutbox& out) {
+    net.round_fast([&](NodeId v, const auto& in, DiOutbox& out) {
       const auto out_arcs = game.out(v);
       struct Prop {
         NodeId node;
@@ -220,7 +221,7 @@ TokenDroppingResult run_token_dropping(const Digraph& game,
 
   TokenDroppingResult res = token_dropping_message_passing(
       game, std::move(initial_tokens), k, delta, alpha, ledger, num_threads,
-      pool, cancel);
+      pool, cancel, params.slot_format);
 
   const std::int64_t total_after =
       std::accumulate(res.tokens.begin(), res.tokens.end(), std::int64_t{0});

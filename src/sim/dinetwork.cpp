@@ -1,5 +1,6 @@
 #include "sim/dinetwork.hpp"
 
+#include <string>
 #include <utility>
 
 namespace dec {
@@ -12,19 +13,41 @@ std::shared_ptr<const DiTopology> require_topo(
   return topo;
 }
 
+// Derive the support network's per-slot plan from a per-arc plan: an
+// unframed single-lane slot carries at most w fields; a framed multi-lane
+// slot carries a length prefix plus payload per lane.
+SlotPlan support_plan(const DiTopology& topo, SlotPlan arc_plan) {
+  if (arc_plan.format == SlotFormat::kWide && arc_plan.max_fields == 0) {
+    return {};  // unchecked wide, today's behavior
+  }
+  const int w = arc_plan.max_fields;
+  const int lanes = static_cast<int>(topo.max_lane_count());
+  const int support_w = lanes == 1 ? w : lanes * (1 + w);
+  if (arc_plan.format == SlotFormat::kNarrow) {
+    DEC_REQUIRE(support_w >= 1 &&
+                    support_w <= static_cast<int>(NarrowSlot::kMaxFields),
+                "narrow arc plan: framed support width exceeds the narrow "
+                "slot's 255-field limit — use a wide arc plan for this "
+                "digraph's lane multiplicity");
+  }
+  return {arc_plan.format, support_w};
+}
+
 }  // namespace
 
 DiNetwork::DiNetwork(const Digraph& dg, RoundLedger* ledger,
-                     std::string component, int num_threads)
+                     std::string component, int num_threads, SlotPlan arc_plan)
     : DiNetwork(dg, DiTopology::plan(dg, num_threads), ledger,
-                std::move(component)) {}
+                std::move(component), arc_plan) {}
 
 DiNetwork::DiNetwork(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
-                     RoundLedger* ledger, std::string component)
+                     RoundLedger* ledger, std::string component,
+                     SlotPlan arc_plan)
     : dg_(&dg),
       topo_(require_topo(std::move(topo))),
       net_(topo_->support(), topo_->support_topology(), ledger,
-           std::move(component)) {
+           std::move(component), support_plan(*topo_, arc_plan)),
+      arc_declared_(arc_plan.max_fields) {
   DEC_REQUIRE(topo_->matches(dg), "topology does not fit the digraph");
   bind_plan();
 }
@@ -64,6 +87,30 @@ void DiNetwork::rebind(const Digraph& dg,
   bind_plan();
 }
 
+void DiNetwork::rebind(const Digraph& dg,
+                       std::shared_ptr<const DiTopology> topo,
+                       RoundLedger* ledger, std::string component,
+                       SlotPlan arc_plan) {
+  DEC_REQUIRE(topo != nullptr, "null topology");
+  DEC_REQUIRE(topo->matches(dg), "topology does not fit the digraph");
+  DEC_REQUIRE(arc_plan.format == net_.slot_format(),
+              "rebind cannot change a network's slot format");
+  dg_ = &dg;
+  arc_declared_ = arc_plan.max_fields;
+  const SlotPlan sp = support_plan(*topo, arc_plan);
+  if (topo.get() == topo_.get()) {
+    // Same plan shape, but the declared width may differ between leases —
+    // the support rebind (same-topology fast path) updates it and resets.
+    net_.rebind(topo_->support(), topo_->support_topology(), ledger,
+                std::move(component), sp);
+    return;
+  }
+  topo_ = std::move(topo);
+  net_.rebind(topo_->support(), topo_->support_topology(), ledger,
+              std::move(component), sp);
+  bind_plan();
+}
+
 void DiNetwork::clear_scratch(NodeId v) {
   const std::size_t lo = soff_[static_cast<std::size_t>(v)];
   const std::size_t hi = soff_[static_cast<std::size_t>(v) + 1];
@@ -78,49 +125,21 @@ void DiNetwork::send(std::size_t slot,
                      std::initializer_list<std::int64_t> fields) {
   DEC_REQUIRE(fields.size() <= kMaxArcFields,
               "arc payload wider than the adapter's per-lane capacity");
+  if (arc_declared_ > 0 &&
+      fields.size() > static_cast<std::size_t>(arc_declared_)) {
+    const std::string msg =
+        "arc payload wider than the protocol's declared arc plan: component "
+        "'" + net_.component() + "' round " +
+        std::to_string(net_.rounds_executed()) + ", arc channel " +
+        std::to_string(slot) + " sent " + std::to_string(fields.size()) +
+        " fields but the lease declared max_fields=" +
+        std::to_string(arc_declared_) +
+        " — raise the declared arc width; the substrate never truncates";
+    DEC_CHECK(false, msg);
+  }
   scratch_len_[slot] = static_cast<std::uint32_t>(fields.size());
   std::int64_t* d = scratch_fields_.data() + slot * kMaxArcFields;
   for (const std::int64_t f : fields) *d++ = f;
-}
-
-void DiNetwork::pack(NodeId v, Outbox& out) {
-  const std::size_t lo = soff_[static_cast<std::size_t>(v)];
-  const std::size_t hi = soff_[static_cast<std::size_t>(v) + 1];
-  for (std::size_t i = lo; i < hi; ++i) {
-    const std::size_t plo = pack_off_[i];
-    const std::size_t phi = pack_off_[i + 1];
-    bool any = false;
-    for (std::size_t k = plo; k < phi && !any; ++k) {
-      any = scratch_len_[pack_list_[k]] > 0;
-    }
-    if (!any) continue;  // slot untouched: nothing goes on the wire
-    Message& m = out[i - lo];
-    const bool framed = phi - plo > 1;
-    for (std::size_t k = plo; k < phi; ++k) {
-      const std::uint32_t len = scratch_len_[pack_list_[k]];
-      if (framed) m.push(static_cast<std::int64_t>(len));
-      const std::int64_t* f =
-          scratch_fields_.data() + pack_list_[k] * kMaxArcFields;
-      for (std::uint32_t t = 0; t < len; ++t) m.push(f[t]);
-    }
-  }
-}
-
-ArcView DiNetwork::extract(const Message& m,
-                           const DiTopology::ArcRef& ref) const {
-  if (m.empty()) return {};
-  const auto f = m.fields();
-  if (ref.lane_count == 1) return {f.data(), f.size()};
-  std::size_t pos = 0;
-  for (std::uint32_t l = 0; l < ref.lane_count; ++l) {
-    DEC_CHECK(pos < f.size(), "malformed multi-lane message");
-    const std::size_t len = static_cast<std::size_t>(f[pos]);
-    ++pos;
-    if (l == ref.lane) return len == 0 ? ArcView{} : ArcView{f.data() + pos, len};
-    pos += len;
-  }
-  DEC_CHECK(false, "lane index beyond the edge's lane count");
-  return {};
 }
 
 }  // namespace dec

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -66,8 +67,12 @@ class ArcView {
 class DiNetwork;
 
 /// Incoming arc sub-channels of one node for the current round, indexed by
-/// the node's digraph incidence lists.
-class DiInbox {
+/// the node's digraph incidence lists. Parameterized over the support
+/// network's inbox family (wide Inbox or NarrowInbox) — ArcViews point into
+/// the underlying plane/slab storage either way, so node programs written
+/// with `const auto& in` run on both formats unchanged.
+template <class InboxT>
+class BasicDiInbox {
  public:
   /// Payload that arrived along the node's j-th in-arc (sent by its tail).
   ArcView along(std::size_t j) const;
@@ -76,13 +81,16 @@ class DiInbox {
 
  private:
   friend class DiNetwork;
-  DiInbox(const DiNetwork* net, NodeId v, const Inbox* in)
+  BasicDiInbox(const DiNetwork* net, NodeId v, const InboxT* in)
       : net_(net), v_(v), in_(in) {}
 
   const DiNetwork* net_;
   NodeId v_;
-  const Inbox* in_;
+  const InboxT* in_;
 };
+
+using DiInbox = BasicDiInbox<Inbox>;
+using NarrowDiInbox = BasicDiInbox<NarrowInbox>;
 
 /// Outgoing arc sub-channels of one node for the current round. Each send
 /// replaces the channel's payload wholesale; untouched channels send
@@ -108,14 +116,21 @@ class DiNetwork {
   /// of a Message so single-lane sends never spill.
   static constexpr std::size_t kMaxArcFields = Message::kInlineFields;
 
-  /// Plan-and-run convenience: plans a fresh DiTopology for `dg`.
+  /// Plan-and-run convenience: plans a fresh DiTopology for `dg`. `arc_plan`
+  /// is the PER-ARC slot plan: its max_fields declares the widest payload a
+  /// single arc sub-channel carries; the adapter derives the support
+  /// network's per-slot width from it (max_lane_count * (1 + w) fields when
+  /// lanes are framed, w unframed). A wide plan with max_fields 0 is
+  /// unchecked, today's behavior.
   explicit DiNetwork(const Digraph& dg, RoundLedger* ledger = nullptr,
-                     std::string component = "dinetwork", int num_threads = 1);
+                     std::string component = "dinetwork", int num_threads = 1,
+                     SlotPlan arc_plan = {});
 
   /// Build run state on an existing (typically cached) plan. `topo` must fit
   /// `dg` (see DiTopology::matches).
   DiNetwork(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
-            RoundLedger* ledger = nullptr, std::string component = "dinetwork");
+            RoundLedger* ledger = nullptr, std::string component = "dinetwork",
+            SlotPlan arc_plan = {});
 
   /// O(num_shards) return to the just-constructed state (epoch-based; see
   /// SyncNetwork::reset). The no-arg form keeps the current ledger binding;
@@ -131,27 +146,65 @@ class DiNetwork {
   void rebind(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
               RoundLedger* ledger = nullptr, std::string component = "dinetwork");
 
+  /// rebind() that also re-declares the per-arc slot plan (format must match
+  /// this run state's — see SyncNetwork's five-arg rebind).
+  void rebind(const Digraph& dg, std::shared_ptr<const DiTopology> topo,
+              RoundLedger* ledger, std::string component, SlotPlan arc_plan);
+
   /// Execute one synchronous round: `fn(v, inbox, outbox)` per node, then
-  /// lane packing onto the support network's slots. Charges one round.
+  /// lane packing onto the support network's slots. Charges one round. The
+  /// inbox handed to `fn` is BasicDiInbox over the support plane's format —
+  /// format dispatch mirrors SyncNetwork::round_fast: a generic program
+  /// (`const auto& in`) runs on either plane, a DiInbox-typed program
+  /// compiles exactly as before and requires a wide-format network.
   template <class F>
   void round_fast(F&& fn) {
-    net_.round_fast([&](NodeId v, const Inbox& in, Outbox& out) {
-      clear_scratch(v);
-      const DiInbox din(this, v, &in);
-      DiOutbox dout(this, v);
-      fn(v, din, dout);
-      pack(v, out);
-    });
+    constexpr bool narrow_ok =
+        std::is_invocable_v<F&, NodeId, const NarrowDiInbox&, DiOutbox&>;
+    constexpr bool wide_ok =
+        std::is_invocable_v<F&, NodeId, const DiInbox&, DiOutbox&>;
+    static_assert(narrow_ok || wide_ok,
+                  "arc program must accept (NodeId, const DiInbox&, "
+                  "DiOutbox&) or (NodeId, const NarrowDiInbox&, DiOutbox&)");
+    if constexpr (narrow_ok) {
+      if (net_.slot_format() == SlotFormat::kNarrow) {
+        round_on<NarrowSlot, NarrowInbox>(fn);
+        return;
+      }
+    }
+    if constexpr (wide_ok) {
+      DEC_REQUIRE(net_.slot_format() == SlotFormat::kWide,
+                  "wide-only arc program on a narrow-format network");
+      round_on<Message, Inbox>(fn);
+      return;
+    }
+    DEC_REQUIRE(false, "narrow-only arc program on a wide-format network");
   }
 
   /// Read-only visit of the last round's deliveries (no sends, no round
-  /// charged) — see SyncNetwork::drain_fast.
+  /// charged) — see SyncNetwork::drain_fast. Format dispatch as round_fast.
   template <class F>
   void drain_fast(F&& fn) {
-    net_.drain_fast([&](NodeId v, const Inbox& in) {
-      const DiInbox din(this, v, &in);
-      fn(v, din);
-    });
+    constexpr bool narrow_ok =
+        std::is_invocable_v<F&, NodeId, const NarrowDiInbox&>;
+    constexpr bool wide_ok = std::is_invocable_v<F&, NodeId, const DiInbox&>;
+    static_assert(narrow_ok || wide_ok,
+                  "arc drain program must accept (NodeId, const DiInbox&) "
+                  "or (NodeId, const NarrowDiInbox&)");
+    if constexpr (narrow_ok) {
+      if (net_.slot_format() == SlotFormat::kNarrow) {
+        drain_on<NarrowSlot, NarrowInbox>(fn);
+        return;
+      }
+    }
+    if constexpr (wide_ok) {
+      DEC_REQUIRE(net_.slot_format() == SlotFormat::kWide,
+                  "wide-only arc drain program on a narrow-format network");
+      drain_on<Message, Inbox>(fn);
+      return;
+    }
+    DEC_REQUIRE(false,
+                "narrow-only arc drain program on a wide-format network");
   }
 
   /// Cancellation token, forwarded to the support network's round barrier
@@ -164,6 +217,20 @@ class DiNetwork {
   const Digraph& digraph() const { return *dg_; }
   int num_threads() const { return net_.num_threads(); }
 
+  /// Slot-plane format of the support network (structural — pool identity).
+  SlotFormat slot_format() const { return net_.slot_format(); }
+  /// Declared per-arc max field count of the current lease (0 = unchecked).
+  int declared_arc_fields() const { return arc_declared_; }
+
+  /// Heap bytes of this run state: the support network's planes/slabs plus
+  /// the adapter's lane-packing scratch (both scale with the arc count, so
+  /// bytes/node counters must include them).
+  std::size_t memory_bytes() const {
+    return net_.memory_bytes() +
+           scratch_len_.capacity() * sizeof(std::uint32_t) +
+           scratch_fields_.capacity() * sizeof(std::int64_t);
+  }
+
   // Lane-plane introspection (tests and tools).
   const Graph& support() const { return topo_->support(); }
   const std::shared_ptr<const DiTopology>& topology() const { return topo_; }
@@ -175,18 +242,85 @@ class DiNetwork {
   }
 
  private:
-  friend class DiInbox;
+  template <class InboxT>
+  friend class BasicDiInbox;
   friend class DiOutbox;
 
   void bind_plan();  // refresh cached views + size scratch for topo_
   void clear_scratch(NodeId v);
-  void pack(NodeId v, Outbox& out);
   void send(std::size_t slot, std::initializer_list<std::int64_t> fields);
-  ArcView extract(const Message& m, const DiTopology::ArcRef& ref) const;
+
+  template <class Slot, class InboxT, class F>
+  void round_on(F& fn) {
+    net_.round_as<Slot>([&](NodeId v, const InboxT& in, auto&& out) {
+      clear_scratch(v);
+      const BasicDiInbox<InboxT> din(this, v, &in);
+      DiOutbox dout(this, v);
+      fn(v, din, dout);
+      pack(v, out);
+    });
+  }
+
+  template <class Slot, class InboxT, class F>
+  void drain_on(F& fn) {
+    net_.drain_as<Slot>([&](NodeId v, const InboxT& in) {
+      const BasicDiInbox<InboxT> din(this, v, &in);
+      fn(v, din);
+    });
+  }
+
+  /// Flush this node's touched scratch channels onto its support outbox
+  /// slots (wide Outbox or NarrowOutbox — both expose operator[] + push).
+  template <class OutboxT>
+  void pack(NodeId v, OutboxT& out) {
+    const std::size_t lo = soff_[static_cast<std::size_t>(v)];
+    const std::size_t hi = soff_[static_cast<std::size_t>(v) + 1];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t plo = pack_off_[i];
+      const std::size_t phi = pack_off_[i + 1];
+      bool any = false;
+      for (std::size_t k = plo; k < phi && !any; ++k) {
+        any = scratch_len_[pack_list_[k]] > 0;
+      }
+      if (!any) continue;  // slot untouched: nothing goes on the wire
+      auto&& m = out[i - lo];  // NarrowOutbox yields a proxy by value
+      const bool framed = phi - plo > 1;
+      for (std::size_t k = plo; k < phi; ++k) {
+        const std::uint32_t len = scratch_len_[pack_list_[k]];
+        if (framed) m.push(static_cast<std::int64_t>(len));
+        const std::int64_t* f =
+            scratch_fields_.data() + pack_list_[k] * kMaxArcFields;
+        for (std::uint32_t t = 0; t < len; ++t) m.push(f[t]);
+      }
+    }
+  }
+
+  /// Slice one arc's sub-channel out of a support-slot payload. Works on any
+  /// message view exposing empty()/fields(); the returned ArcView points
+  /// into plane or slab storage, which outlives a by-value NarrowView.
+  template <class MsgT>
+  ArcView extract(const MsgT& m, const DiTopology::ArcRef& ref) const {
+    if (m.empty()) return {};
+    const auto f = m.fields();
+    if (ref.lane_count == 1) return {f.data(), f.size()};
+    std::size_t pos = 0;
+    for (std::uint32_t l = 0; l < ref.lane_count; ++l) {
+      DEC_CHECK(pos < f.size(), "malformed multi-lane message");
+      const std::size_t len = static_cast<std::size_t>(f[pos]);
+      ++pos;
+      if (l == ref.lane) {
+        return len == 0 ? ArcView{} : ArcView{f.data() + pos, len};
+      }
+      pos += len;
+    }
+    DEC_CHECK(false, "lane index beyond the edge's lane count");
+    return {};
+  }
 
   const Digraph* dg_;
   std::shared_ptr<const DiTopology> topo_;
   SyncNetwork net_;
+  int arc_declared_ = 0;  // declared per-arc max width (0 = unchecked)
 
   // Hot-path views into *topo_ (refreshed by bind_plan).
   const DiTopology::ArcRef* ref_ = nullptr;
@@ -201,7 +335,8 @@ class DiNetwork {
   std::vector<std::int64_t> scratch_fields_;
 };
 
-inline ArcView DiInbox::along(std::size_t j) const {
+template <class InboxT>
+inline ArcView BasicDiInbox<InboxT>::along(std::size_t j) const {
   const auto in_arcs = net_->dg_->in(v_);
   DEC_REQUIRE(j < in_arcs.size(), "in-arc index out of range");
   const DiTopology::ArcRef& ref =
@@ -209,7 +344,8 @@ inline ArcView DiInbox::along(std::size_t j) const {
   return net_->extract((*in_)[ref.head_inc], ref);
 }
 
-inline ArcView DiInbox::against(std::size_t j) const {
+template <class InboxT>
+inline ArcView BasicDiInbox<InboxT>::against(std::size_t j) const {
   const auto out_arcs = net_->dg_->out(v_);
   DEC_REQUIRE(j < out_arcs.size(), "out-arc index out of range");
   const DiTopology::ArcRef& ref =

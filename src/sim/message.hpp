@@ -126,6 +126,65 @@ class Message {
 /// stale (i.e. nothing was sent on that edge this round).
 inline const Message kEmptyMessage{};
 
+/// Slot format of a SyncNetwork's message planes. The format is structural:
+/// chosen at construction, immutable for the life of the run state, and part
+/// of the pool's park/adopt identity (a narrow run state is never adopted
+/// for a wide lease or vice versa — see sim/shared_pool.hpp).
+enum class SlotFormat : std::uint8_t {
+  kWide,    // 64 B SBO Message slots (the general default)
+  kNarrow,  // 16 B NarrowSlot: one inline int64, slab-indexed overflow
+};
+
+/// Per-lease slot plan: the plane format plus the protocol's declared
+/// maximum per-message field count. Narrow planes require max_fields in
+/// [1, 255] (it sizes the slab spill blocks); wide planes accept 0
+/// (unchecked, today's behavior) or a positive declared bound. Exceeding a
+/// declared bound throws — the substrate never truncates a message.
+struct SlotPlan {
+  SlotFormat format = SlotFormat::kWide;
+  int max_fields = 0;
+};
+
+/// Compact 16 B slot for single-field protocols (docs/ARCHITECTURE.md "Slot
+/// formats"). One int64 payload lives inline; the header word packs the
+/// epoch tag (high 32 bits), the field count (8 bits), and a 24-bit index
+/// into the owning shard's slab for payloads wider than one field:
+///
+///   header_ = epoch << 32 | count << 24 | spill_index
+///
+/// Spilled payloads (count >= 2) live whole in a slab block of the lease's
+/// declared width, addressed by index (MessageSlab::at_index) because 24
+/// bits cannot hold a pointer. The epoch tag plays exactly the Message
+/// role: a slot is live only when its tag equals the round epoch, and the
+/// lazy first-touch stamp doubles as the clear (count and spill go to 0).
+struct NarrowSlot {
+  static constexpr std::uint32_t kMaxSpillIndex = (1u << 24) - 1;
+  static constexpr std::uint32_t kMaxFields = 255;
+
+  std::int64_t payload_ = 0;
+  std::uint64_t header_ = 0;
+
+  std::uint32_t epoch() const {
+    return static_cast<std::uint32_t>(header_ >> 32);
+  }
+  std::uint32_t count() const {
+    return static_cast<std::uint32_t>(header_ >> 24) & 0xff;
+  }
+  std::uint32_t spill() const {
+    return static_cast<std::uint32_t>(header_) & kMaxSpillIndex;
+  }
+
+  /// Lazy first-touch reset: stamp the write epoch, zero count and spill.
+  void stamp(std::uint32_t e) { header_ = static_cast<std::uint64_t>(e) << 32; }
+  void set_count(std::uint32_t c) {
+    header_ = (header_ & ~0xff000000ull) | (static_cast<std::uint64_t>(c) << 24);
+  }
+  void set_spill(std::uint32_t idx) {
+    header_ = (header_ & ~static_cast<std::uint64_t>(kMaxSpillIndex)) | idx;
+  }
+};
+static_assert(sizeof(NarrowSlot) == 16, "NarrowSlot must stay 16 bytes");
+
 /// Minimal bit width of one signed field (sign bit + magnitude bits).
 /// Branch-free: for v >= 0 the magnitude is v, for v < 0 it is |v| - 1
 /// (two's complement needs one fewer magnitude bit on the negative side,
@@ -151,6 +210,17 @@ class CongestAudit {
     if (m.empty()) return;
     ++messages_;
     const int bits = message_bits(m);
+    if (bits > max_bits_) max_bits_ = bits;
+  }
+
+  /// Same accounting over a raw field span (the narrow plane's slots resolve
+  /// to spans, not Messages). Bits are a function of the field values alone,
+  /// so narrow and wide runs of one protocol audit bit-identically.
+  void observe(std::span<const std::int64_t> fields) {
+    if (fields.empty()) return;
+    ++messages_;
+    int bits = 0;
+    for (const std::int64_t v : fields) bits += field_bits(v);
     if (bits > max_bits_) max_bits_ = bits;
   }
   int max_bits() const { return max_bits_; }

@@ -1,6 +1,8 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -8,26 +10,51 @@
 
 namespace dec {
 
+namespace {
+
+// Shared plan validation for construction and per-lease rebind: the narrow
+// plane needs a real declared width (it sizes the spill blocks and the 8-bit
+// slot count must hold it); the wide plane accepts 0 (unchecked, the
+// historical behavior) or any positive declared bound.
+void validate_plan(const SlotPlan& plan) {
+  if (plan.format == SlotFormat::kNarrow) {
+    DEC_REQUIRE(plan.max_fields >= 1 &&
+                    plan.max_fields <=
+                        static_cast<int>(NarrowSlot::kMaxFields),
+                "narrow slot plan requires declared max_fields in [1, 255]");
+  } else {
+    DEC_REQUIRE(plan.max_fields >= 0,
+                "wide slot plan requires declared max_fields >= 0");
+  }
+}
+
+}  // namespace
+
 SyncNetwork::SyncNetwork(const Graph& g, RoundLedger* ledger,
-                         std::string component, int num_threads)
+                         std::string component, int num_threads, SlotPlan plan)
     : SyncNetwork(g, NetworkTopology::plan(g, num_threads), ledger,
-                  std::move(component)) {}
+                  std::move(component), plan) {}
 
 SyncNetwork::SyncNetwork(const Graph& g,
                          std::shared_ptr<const NetworkTopology> topo,
-                         RoundLedger* ledger, std::string component)
+                         RoundLedger* ledger, std::string component,
+                         SlotPlan plan)
     : g_(&g), topo_(std::move(topo)) {
   DEC_REQUIRE(topo_ != nullptr, "null topology");
   DEC_REQUIRE(topo_->matches(g), "topology does not fit the graph");
+  validate_plan(plan);
+  format_ = plan.format;
+  declared_fields_ = plan.max_fields;
   bind_ledger(ledger, std::move(component));
   bind_plan();
 }
 
 void SyncNetwork::bind_ledger(RoundLedger* ledger, std::string component) {
+  component_ = std::move(component);  // retained for error messages
   ledger_ = ledger;
   counter_.reset();
   if (ledger_ != nullptr) {
-    counter_.emplace(ledger_->counter(std::move(component)));
+    counter_.emplace(ledger_->counter(component_));
   }
 }
 
@@ -43,11 +70,21 @@ void SyncNetwork::bind_plan() {
   peer_slot_ = topo_->peer_slot().data();
   shard_begin_ = topo_->shard_begin().data();
 
+  // Only the active format's plane pair is sized; the other pair stays at
+  // whatever it was (capacity 0 for the life of the run state, since the
+  // format never changes).
   const std::size_t slots = topo_->num_slots();
-  buf_a_.resize(slots);
-  buf_b_.resize(slots);
-  out_ = buf_a_.data();
-  in_ = buf_b_.data();
+  if (format_ == SlotFormat::kWide) {
+    buf_a_.resize(slots);
+    buf_b_.resize(slots);
+    out_ = buf_a_.data();
+    in_ = buf_b_.data();
+  } else {
+    nbuf_a_.resize(slots);
+    nbuf_b_.resize(slots);
+    nout_ = nbuf_a_.data();
+    nin_ = nbuf_b_.data();
+  }
   out_is_a_ = true;
 
   const int num_shards = topo_->num_shards();
@@ -63,16 +100,27 @@ void SyncNetwork::bind_plan() {
       (pool_ == nullptr || pool_->num_threads() < num_shards)) {
     pool_ = std::make_unique<ThreadPool>(num_shards);
   }
-  for (int s = 0; s < num_shards; ++s) {
-    Shard& sh = shards_[static_cast<std::size_t>(s)];
-    const std::size_t lo = offsets_[static_cast<std::size_t>(shard_begin_[s])];
-    const std::size_t hi =
-        offsets_[static_cast<std::size_t>(shard_begin_[s + 1])];
-    for (std::size_t slot = lo; slot < hi; ++slot) {
-      buf_a_[slot].bind_slab(&sh.slab_a);
-      buf_b_[slot].bind_slab(&sh.slab_b);
+  // Slot -> shard boundaries, used by narrow spill resolution (and cheap to
+  // keep around either way).
+  shard_slot_begin_.resize(static_cast<std::size_t>(num_shards) + 1);
+  for (int s = 0; s <= num_shards; ++s) {
+    shard_slot_begin_[static_cast<std::size_t>(s)] =
+        offsets_[static_cast<std::size_t>(shard_begin_[s])];
+  }
+  if (format_ == SlotFormat::kWide) {
+    for (int s = 0; s < num_shards; ++s) {
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      const std::size_t lo = shard_slot_begin_[static_cast<std::size_t>(s)];
+      const std::size_t hi =
+          shard_slot_begin_[static_cast<std::size_t>(s) + 1];
+      for (std::size_t slot = lo; slot < hi; ++slot) {
+        buf_a_[slot].bind_slab(&sh.slab_a);
+        buf_b_[slot].bind_slab(&sh.slab_b);
+      }
     }
   }
+  // Narrow slots carry slab indices, not bindings; the outbox hands each
+  // write the owning shard's arena directly.
   reset();
 }
 
@@ -112,6 +160,19 @@ void SyncNetwork::rebind(const Graph& g,
   bind_plan();
 }
 
+void SyncNetwork::rebind(const Graph& g,
+                         std::shared_ptr<const NetworkTopology> topo,
+                         RoundLedger* ledger, std::string component,
+                         SlotPlan plan) {
+  validate_plan(plan);
+  // The format is structural — pooled leases filter by it before adopting a
+  // parked run state, so a mismatch here is a pool bug, not a user error.
+  DEC_REQUIRE(plan.format == format_,
+              "rebind cannot change a network's slot format");
+  declared_fields_ = plan.max_fields;
+  rebind(g, std::move(topo), ledger, std::move(component));
+}
+
 void SyncNetwork::begin_round() {
   // Cancellation barrier: checked before any round state is touched, so an
   // abort here needs no rollback — the network still sits at its exact
@@ -137,9 +198,15 @@ void SyncNetwork::begin_round() {
 // untouched, so the previous round's delivery is still readable.
 void SyncNetwork::abort_round() {
   for (Shard& sh : shards_) {
-    for (const std::uint32_t s : sh.touched) {
-      out_[s].reset_storage();
-      out_[s].set_epoch(0);
+    if (format_ == SlotFormat::kWide) {
+      for (const std::uint32_t s : sh.touched) {
+        out_[s].reset_storage();
+        out_[s].set_epoch(0);
+      }
+    } else {
+      // Zeroing the header un-stamps the slot (epoch 0 is never a write
+      // epoch) and drops count and spill index in one store.
+      for (const std::uint32_t s : sh.touched) nout_[s].header_ = 0;
     }
     sh.touched.clear();
     sh.audit.reset();
@@ -154,11 +221,36 @@ void SyncNetwork::finish_round() {
     sh.touched.clear();
   }
   // Delivery: the peer permutation is baked into Inbox reads, so handing the
-  // written buffer to the readers is a pointer swap.
+  // written buffer to the readers is a pointer swap. Both format's pointer
+  // pairs swap (the inactive pair is null/null — swapping is free and keeps
+  // this path branchless).
   std::swap(in_, out_);
+  std::swap(nin_, nout_);
   out_is_a_ = !out_is_a_;
   ++rounds_;
   if (counter_.has_value()) counter_->charge(1);
+}
+
+NodeId SyncNetwork::node_of_slot(std::size_t slot) const {
+  const auto& offsets = topo_->offsets();
+  // First node whose slot range ends past `slot`.
+  const auto it =
+      std::upper_bound(offsets.begin(), offsets.end(), slot);
+  return static_cast<NodeId>((it - offsets.begin()) - 1);
+}
+
+void SyncNetwork::throw_width_violation(NodeId v, std::size_t slot,
+                                        int declared, int actual) const {
+  const std::string msg =
+      "message wider than the protocol's declared slot plan: component '" +
+      component_ + "' round " + std::to_string(rounds_) + ", node " +
+      std::to_string(v) + " slot " + std::to_string(slot) + " reached " +
+      std::to_string(actual) + " fields but the lease declared max_fields=" +
+      std::to_string(declared) +
+      " — raise the declared width (or use a wide slot plan); the substrate "
+      "never truncates";
+  DEC_CHECK(false, msg);
+  std::abort();  // unreachable: DEC_CHECK(false, ...) always throws
 }
 
 ParallelSyncNetwork::ParallelSyncNetwork(const Graph& g, RoundLedger* ledger,

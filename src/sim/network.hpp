@@ -30,6 +30,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -141,20 +142,178 @@ class Outbox {
   std::vector<std::uint32_t>* touched_;
 };
 
+class SyncNetwork;
+
+/// By-value read view of one narrow slot's payload. Mirrors the read API of
+/// Message (empty/size/at/fields), so node programs written against the
+/// common surface compile on either plane format.
+class NarrowView {
+ public:
+  NarrowView() = default;
+  NarrowView(const std::int64_t* data, std::size_t n) : data_(data), n_(n) {}
+
+  bool empty() const { return n_ == 0; }
+  std::size_t size() const { return n_; }
+  std::int64_t at(std::size_t i) const {
+    DEC_REQUIRE(i < n_, "message field index out of range");
+    return data_[i];
+  }
+  std::span<const std::int64_t> fields() const { return {data_, n_}; }
+
+ private:
+  const std::int64_t* data_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+/// Narrow-plane counterpart of Inbox: entry i is what g.neighbors(v)[i] sent
+/// last round, empty when its epoch tag is stale. operator[] returns a view
+/// BY VALUE (a NarrowSlot has no Message to reference); `const auto&` at
+/// call sites binds either form.
+class NarrowInbox {
+ public:
+  NarrowView operator[](std::size_t i) const;  // defined after SyncNetwork
+  std::size_t size() const { return n_; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NarrowView;
+    using reference = NarrowView;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const NarrowInbox* box, std::size_t i) : box_(box), i_(i) {}
+    NarrowView operator*() const { return (*box_)[i_]; }
+    const_iterator& operator++() { ++i_; return *this; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const NarrowInbox* box_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, n_}; }
+
+ private:
+  friend class SyncNetwork;
+  NarrowInbox(const SyncNetwork* net, const NarrowSlot* buf,
+              const std::uint32_t* peer, std::size_t n, std::uint32_t epoch)
+      : net_(net), buf_(buf), peer_(peer), n_(n), epoch_(epoch) {}
+
+  const SyncNetwork* net_;  // resolves slab spills of wide payloads
+  const NarrowSlot* buf_;   // global inbox slot base (narrow plane)
+  const std::uint32_t* peer_;
+  std::size_t n_;
+  std::uint32_t epoch_;
+};
+
+/// Write proxy for one narrow outbox slot (returned BY VALUE by
+/// NarrowOutbox::operator[]). The write API is the Message subset the
+/// solvers use — assign/push/clear; exceeding the lease's declared width
+/// throws an actionable error, never truncates. The second field of a slot
+/// moves the payload into an index-addressed slab block of exactly the
+/// declared width, so a declared-1 lease never touches the slab at all.
+class NarrowRef {
+ public:
+  void assign(std::initializer_list<std::int64_t> init) {
+    clear();
+    for (const std::int64_t v : init) push(v);
+  }
+  void push(std::int64_t v);  // defined after SyncNetwork
+  void clear() { slot_->set_count(0); }
+
+ private:
+  friend class NarrowOutbox;
+  NarrowRef(NarrowSlot* slot, MessageSlab* slab, const SyncNetwork* net,
+            NodeId v, std::uint32_t slot_index, int declared)
+      : slot_(slot), slab_(slab), net_(net), v_(v), slot_index_(slot_index),
+        declared_(declared) {}
+
+  NarrowSlot* slot_;
+  MessageSlab* slab_;        // owning shard's write-plane arena
+  const SyncNetwork* net_;   // error context (component, round)
+  NodeId v_;
+  std::uint32_t slot_index_;
+  int declared_;
+};
+
+/// Narrow-plane counterpart of Outbox: slots are lazily stamped on first
+/// touch (the stamp doubles as the clear). Iteration yields proxies by
+/// value — range-for with `auto&&`.
+class NarrowOutbox {
+ public:
+  NarrowRef operator[](std::size_t i) {
+    NarrowSlot& s = buf_[i];
+    if (s.epoch() != epoch_) {
+      s.stamp(epoch_);
+      touched_->push_back(base_ + static_cast<std::uint32_t>(i));
+    }
+    return NarrowRef{&s, slab_, net_, v_,
+                     base_ + static_cast<std::uint32_t>(i), declared_};
+  }
+
+  std::size_t size() const { return n_; }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NarrowRef;
+    using reference = NarrowRef;
+    using difference_type = std::ptrdiff_t;
+
+    iterator(NarrowOutbox* box, std::size_t i) : box_(box), i_(i) {}
+    NarrowRef operator*() const { return (*box_)[i_]; }
+    iterator& operator++() { ++i_; return *this; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    NarrowOutbox* box_;
+    std::size_t i_;
+  };
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, n_}; }
+
+ private:
+  friend class SyncNetwork;
+  NarrowOutbox(NarrowSlot* buf, MessageSlab* slab, const SyncNetwork* net,
+               NodeId v, std::size_t n, std::uint32_t epoch,
+               std::uint32_t base, std::vector<std::uint32_t>* touched,
+               int declared)
+      : buf_(buf), slab_(slab), net_(net), v_(v), n_(n), epoch_(epoch),
+        base_(base), touched_(touched), declared_(declared) {}
+
+  NarrowSlot* buf_;  // this node's first outbox slot
+  MessageSlab* slab_;
+  const SyncNetwork* net_;
+  NodeId v_;
+  std::size_t n_;
+  std::uint32_t epoch_;
+  std::uint32_t base_;
+  std::vector<std::uint32_t>* touched_;
+  int declared_;
+};
+
 class SyncNetwork {
  public:
   /// Plan-and-run convenience: plans a fresh topology for `g`. `component`
   /// names the ledger line that rounds are charged to; `ledger` may be null
   /// (rounds still counted locally). `num_threads` > 1 enables the parallel
-  /// round engine (see ParallelSyncNetwork).
+  /// round engine (see ParallelSyncNetwork). `plan` picks the slot-plane
+  /// format (structural — immutable for this run state's lifetime) and the
+  /// protocol's declared max per-message field count.
   explicit SyncNetwork(const Graph& g, RoundLedger* ledger = nullptr,
-                       std::string component = "network", int num_threads = 1);
+                       std::string component = "network", int num_threads = 1,
+                       SlotPlan plan = {});
 
   /// Build run state on an existing (typically cached) plan. `topo` must fit
   /// `g` (same shape — see NetworkTopology::matches); the shard count is the
   /// plan's.
   SyncNetwork(const Graph& g, std::shared_ptr<const NetworkTopology> topo,
-              RoundLedger* ledger = nullptr, std::string component = "network");
+              RoundLedger* ledger = nullptr, std::string component = "network",
+              SlotPlan plan = {});
 
   /// Return to the just-constructed state in O(num_shards): one epoch bump
   /// invalidates every slot of both buffer planes (including the last
@@ -174,6 +333,13 @@ class SyncNetwork {
   void rebind(const Graph& g, std::shared_ptr<const NetworkTopology> topo,
               RoundLedger* ledger = nullptr, std::string component = "network");
 
+  /// rebind() that also re-declares the per-lease slot plan. The FORMAT is
+  /// structural and must equal this run state's (the pool filters by format
+  /// before ever calling this); only the declared max field count may change
+  /// between leases.
+  void rebind(const Graph& g, std::shared_ptr<const NetworkTopology> topo,
+              RoundLedger* ledger, std::string component, SlotPlan plan);
+
   /// Node program for one round: read `inbox`, fill `outbox` (both sized
   /// degree(v); outbox slots read as empty until written).
   using StepFn =
@@ -186,8 +352,41 @@ class SyncNetwork {
   /// erasure on the per-node call. Use this from solver inner loops. With
   /// num_threads > 1, `fn` is invoked concurrently from pool workers and
   /// must confine writes to its own node's state and outbox.
+  ///
+  /// Dispatch over the slot-plane format: a generic node program (e.g. a
+  /// lambda taking `const auto&` / `auto&&` boxes) is invocable against both
+  /// box families and runs on whichever plane this network carries; a
+  /// program written against one concrete family requires the matching
+  /// format. The wide instantiation compiles exactly as before the narrow
+  /// plane existed.
   template <class F>
   void round_fast(F&& fn) {
+    constexpr bool narrow_ok =
+        std::is_invocable_v<F&, NodeId, const NarrowInbox&, NarrowOutbox&>;
+    constexpr bool wide_ok =
+        std::is_invocable_v<F&, NodeId, const Inbox&, Outbox&>;
+    static_assert(narrow_ok || wide_ok,
+                  "node program must accept (NodeId, const Inbox&, Outbox&) "
+                  "or (NodeId, const NarrowInbox&, NarrowOutbox&)");
+    if constexpr (narrow_ok) {
+      if (format_ == SlotFormat::kNarrow) {
+        round_as<NarrowSlot>(fn);
+        return;
+      }
+    }
+    if constexpr (wide_ok) {
+      DEC_REQUIRE(format_ == SlotFormat::kWide,
+                  "wide-only node program on a narrow-format network");
+      round_as<Message>(fn);
+      return;
+    }
+    DEC_REQUIRE(false, "narrow-only node program on a wide-format network");
+  }
+
+  /// Execute one round on a specific slot plane. Public so DiNetwork (whose
+  /// box types wrap ours) can dispatch explicitly; solvers use round_fast.
+  template <class Slot, class F>
+  void round_as(F&& fn) {
     begin_round();
     try {
       // The retained pool may carry more workers than the current plan has
@@ -195,10 +394,10 @@ class SyncNetwork {
       const int num_shards = topo_->num_shards();
       if (pool_ != nullptr && num_shards > 1) {
         pool_->run([&](int shard) {
-          if (shard < num_shards) run_shard(fn, shard);
+          if (shard < num_shards) run_shard_as<Slot>(fn, shard);
         });
       } else {
-        run_shard(fn, 0);
+        run_shard_as<Slot>(fn, 0);
       }
     } catch (...) {
       abort_round();  // roll back to the pre-round state, then rethrow
@@ -212,17 +411,46 @@ class SyncNetwork {
   /// charged. Receiving plus local computation is free in the round model;
   /// pipelined solvers use this to consume their final round's replies.
   /// Runs sharded under the parallel engine with the same confinement rules
-  /// as round_fast.
+  /// as round_fast. Format dispatch mirrors round_fast.
   template <class F>
   void drain_fast(F&& fn) {
+    constexpr bool narrow_ok =
+        std::is_invocable_v<F&, NodeId, const NarrowInbox&>;
+    constexpr bool wide_ok = std::is_invocable_v<F&, NodeId, const Inbox&>;
+    static_assert(narrow_ok || wide_ok,
+                  "drain program must accept (NodeId, const Inbox&) or "
+                  "(NodeId, const NarrowInbox&)");
+    if constexpr (narrow_ok) {
+      if (format_ == SlotFormat::kNarrow) {
+        drain_as<NarrowSlot>(fn);
+        return;
+      }
+    }
+    if constexpr (wide_ok) {
+      DEC_REQUIRE(format_ == SlotFormat::kWide,
+                  "wide-only drain program on a narrow-format network");
+      drain_as<Message>(fn);
+      return;
+    }
+    DEC_REQUIRE(false, "narrow-only drain program on a wide-format network");
+  }
+
+  /// drain_fast on a specific slot plane (see round_as).
+  template <class Slot, class F>
+  void drain_as(F&& fn) {
     auto visit = [&](int shard) {
       const NodeId vend = shard_begin_[static_cast<std::size_t>(shard) + 1];
       for (NodeId v = shard_begin_[static_cast<std::size_t>(shard)]; v < vend;
            ++v) {
         const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
         const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
-        const Inbox in(in_, peer_slot_ + lo, deg, epoch_);
-        fn(v, in);
+        if constexpr (std::is_same_v<Slot, Message>) {
+          const Inbox in(in_, peer_slot_ + lo, deg, epoch_);
+          fn(v, in);
+        } else {
+          const NarrowInbox in(this, nin_, peer_slot_ + lo, deg, epoch_);
+          fn(v, in);
+        }
       }
     };
     const int num_shards = topo_->num_shards();
@@ -255,20 +483,31 @@ class SyncNetwork {
   }
   int num_threads() const { return topo_->num_shards(); }
 
-  /// Heap bytes of this run state: both message buffer planes, per-shard
+  /// Heap bytes of this run state: both message buffer planes (whichever
+  /// format is active — the other's vectors stay at capacity 0), per-shard
   /// spill arenas and touched lists. Excludes the shared plan
   /// (NetworkTopology::memory_bytes) and the graph (Graph::memory_bytes) —
   /// the three together are the per-node budget docs/ARCHITECTURE.md
   /// "Graph storage & scale" tracks.
   std::size_t memory_bytes() const {
     std::size_t bytes =
-        (buf_a_.capacity() + buf_b_.capacity()) * sizeof(Message);
+        (buf_a_.capacity() + buf_b_.capacity()) * sizeof(Message) +
+        (nbuf_a_.capacity() + nbuf_b_.capacity()) * sizeof(NarrowSlot);
     for (const auto& sh : shards_) {
       bytes += sh.slab_a.capacity_bytes() + sh.slab_b.capacity_bytes();
       bytes += sh.touched.capacity() * sizeof(std::uint32_t);
     }
+    bytes += shard_slot_begin_.capacity() * sizeof(std::size_t);
     return bytes;
   }
+
+  /// Slot-plane format (structural, fixed at construction).
+  SlotFormat slot_format() const { return format_; }
+  /// Ledger component this run state charges (error-message context).
+  const std::string& component() const { return component_; }
+  /// Declared max per-message field count of the current lease (0 on a wide
+  /// plane means unchecked).
+  int declared_fields() const { return declared_fields_; }
 
   // Slot-plane introspection (tests and tools).
   std::size_t num_slots() const { return topo_->num_slots(); }
@@ -278,31 +517,90 @@ class SyncNetwork {
   std::size_t peer_slot(std::size_t s) const { return peer_slot_[s]; }
 
  private:
+  friend class NarrowInbox;  // resolve_spill
+  friend class NarrowRef;    // throw_width_violation
+
   void begin_round();
   void finish_round();
   void abort_round();
   void bind_ledger(RoundLedger* ledger, std::string component);
   void bind_plan();  // (re)size buffers/shards + slab bindings for topo_
 
-  template <class F>
-  void run_shard(F& fn, int shard) {
+  /// Actionable declared-width violation (satellite 2): names the protocol
+  /// component, round, node, slot, and declared-vs-actual field count.
+  [[noreturn]] void throw_width_violation(NodeId v, std::size_t slot,
+                                          int declared, int actual) const;
+
+  /// Resolve a narrow slot's spilled payload in the plane currently being
+  /// READ. The owning shard comes from the slot index (shard_slot_begin_);
+  /// the read plane's slab is the one begin_round did NOT rewind, so the
+  /// previous round's blocks are intact both mid-round and during a drain.
+  const std::int64_t* resolve_spill(std::size_t slot,
+                                    std::uint32_t spill) const {
+    std::size_t s = 0;
+    while (shard_slot_begin_[s + 1] <= slot) ++s;
+    const Shard& sh = shards_[s];
+    const MessageSlab& slab = out_is_a_ ? sh.slab_b : sh.slab_a;
+    return slab.at_index(spill);
+  }
+
+  template <class Slot, class F>
+  void run_shard_as(F& fn, int shard) {
     Shard& sh = shards_[static_cast<std::size_t>(shard)];
     const std::uint32_t write_epoch = epoch_;
     const std::uint32_t read_epoch = epoch_ - 1;
     const NodeId vend = shard_begin_[static_cast<std::size_t>(shard) + 1];
+    constexpr bool kWidePlane = std::is_same_v<Slot, Message>;
+    MessageSlab* write_slab = out_is_a_ ? &sh.slab_a : &sh.slab_b;
     for (NodeId v = shard_begin_[static_cast<std::size_t>(shard)]; v < vend;
          ++v) {
       const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
       const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
-      const Inbox in(in_, peer_slot_ + lo, deg, read_epoch);
-      Outbox out(out_ + lo, deg, write_epoch,
-                 static_cast<std::uint32_t>(lo), &sh.touched);
-      fn(v, in, out);
+      if constexpr (kWidePlane) {
+        const Inbox in(in_, peer_slot_ + lo, deg, read_epoch);
+        Outbox out(out_ + lo, deg, write_epoch,
+                   static_cast<std::uint32_t>(lo), &sh.touched);
+        fn(v, in, out);
+      } else {
+        const NarrowInbox in(this, nin_, peer_slot_ + lo, deg, read_epoch);
+        NarrowOutbox out(nout_ + lo, write_slab, this, v, deg, write_epoch,
+                         static_cast<std::uint32_t>(lo), &sh.touched,
+                         declared_fields_);
+        fn(v, in, out);
+      }
     }
     // Audit this shard's sent slots while still on the worker; merged (max /
-    // sum, order-independent) at the barrier.
-    for (const std::uint32_t s : sh.touched) sh.audit.observe(out_[s]);
+    // sum, order-independent) at the barrier. The wide plane also enforces a
+    // positive declared width here (the narrow plane enforces it in
+    // NarrowRef::push, before any slab traffic).
+    if constexpr (kWidePlane) {
+      for (const std::uint32_t s : sh.touched) {
+        const Message& m = out_[s];
+        if (declared_fields_ > 0 &&
+            m.size() > static_cast<std::size_t>(declared_fields_)) {
+          throw_width_violation(node_of_slot(s), s, declared_fields_,
+                                static_cast<int>(m.size()));
+        }
+        sh.audit.observe(m);
+      }
+    } else {
+      for (const std::uint32_t s : sh.touched) {
+        const NarrowSlot& slot = nout_[s];
+        const std::uint32_t c = slot.count();
+        if (c <= 1) {
+          sh.audit.observe(
+              std::span<const std::int64_t>(&slot.payload_, c));
+        } else {
+          sh.audit.observe(std::span<const std::int64_t>(
+              write_slab->at_index(slot.spill()), c));
+        }
+      }
+    }
   }
+
+  /// Owning node of a global slot index (binary search over the CSR
+  /// offsets). Error-path only — never on the hot path.
+  NodeId node_of_slot(std::size_t slot) const;
 
   struct Shard {
     MessageSlab slab_a, slab_b;  // spill arenas for buf_a_ / buf_b_ slots
@@ -328,16 +626,64 @@ class SyncNetwork {
   // one run state; regarded as unreachable.
   std::uint32_t epoch_ = 0;
 
+  // Exactly one plane pair is sized, per format_; the other stays at
+  // capacity 0. Keeping both as plain members (rather than templating the
+  // class) preserves SyncNetwork as one concrete type for the pool and
+  // service layers.
   std::vector<Message> buf_a_, buf_b_;
   Message* in_ = nullptr;   // delivered messages of the previous round
   Message* out_ = nullptr;  // slots being written this round
+  std::vector<NarrowSlot> nbuf_a_, nbuf_b_;
+  NarrowSlot* nin_ = nullptr;
+  NarrowSlot* nout_ = nullptr;
   bool out_is_a_ = true;
+
+  SlotFormat format_ = SlotFormat::kWide;  // structural; never changes
+  int declared_fields_ = 0;                // per-lease declared max width
+  std::string component_;                  // retained for error messages
+  // Global slot index at each shard's first slot (num_shards + 1 entries);
+  // lets narrow spill resolution find the owning shard's slab.
+  std::vector<std::size_t> shard_slot_begin_;
 
   // Resizing may move Shards (and their slabs); bind_plan re-binds every
   // slot's slab pointer afterwards, so no Message ever holds a stale slab.
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pool_;  // null in serial mode
 };
+
+// Defined here (not in-class) because they need the complete SyncNetwork.
+
+inline NarrowView NarrowInbox::operator[](std::size_t i) const {
+  const NarrowSlot& s = buf_[peer_[i]];
+  if (s.epoch() != epoch_) return {};
+  const std::uint32_t c = s.count();
+  if (c <= 1) return {&s.payload_, c};
+  return {net_->resolve_spill(peer_[i], s.spill()), c};
+}
+
+inline void NarrowRef::push(std::int64_t v) {
+  const std::uint32_t c = slot_->count();
+  // Enforce the declared width BEFORE any slab traffic, so an overflowing
+  // program throws without corrupting the spill arena.
+  if (static_cast<int>(c) >= declared_) {
+    net_->throw_width_violation(v_, slot_index_, declared_,
+                                static_cast<int>(c) + 1);
+  }
+  if (c == 0) {
+    slot_->payload_ = v;
+  } else {
+    if (c == 1) {
+      // Second field: move inline payload into a slab block of exactly the
+      // declared width (allocated once; never grown).
+      const std::uint32_t idx =
+          slab_->allocate_index(static_cast<std::size_t>(declared_));
+      slab_->at_index(idx)[0] = slot_->payload_;
+      slot_->set_spill(idx);
+    }
+    slab_->at_index(slot_->spill())[c] = v;
+  }
+  slot_->set_count(c + 1);
+}
 
 /// SyncNetwork with the parallel round engine on: nodes are sharded across a
 /// persistent thread pool (num_threads = 0 picks hardware concurrency).

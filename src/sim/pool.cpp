@@ -31,12 +31,17 @@ NetworkPool::Lease<Net> NetworkPool::acquire(std::vector<Slot<Net>>& slots,
                                              const G& g,
                                              std::shared_ptr<const Topo> topo,
                                              RoundLedger* ledger,
-                                             std::string component) {
+                                             std::string component,
+                                             SlotPlan plan) {
   DEC_DASSERT(std::this_thread::get_id() == owner_,
               "a NetworkPool view is confined to its constructing thread");
+  // Only same-format idle states are candidates (the format is structural;
+  // rebind re-declares the width but can never swap slot planes). Among
+  // those, prefer the exact plan (O(shards) reset instead of rebind).
   std::size_t idle = slots.size();
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (slots[i].busy) continue;
+    if (slots[i].net->slot_format() != plan.format) continue;
     if (slots[i].net->topology().get() == topo.get()) {
       idle = i;
       break;
@@ -44,37 +49,41 @@ NetworkPool::Lease<Net> NetworkPool::acquire(std::vector<Slot<Net>>& slots,
     if (idle == slots.size()) idle = i;
   }
   if (idle == slots.size()) {
-    // Nothing idle in this view: adopt a parked run state from the shared
-    // arena before constructing fresh.
+    // Nothing idle in this view: adopt a parked same-format run state from
+    // the shared arena before constructing fresh.
     std::unique_ptr<Net> adopted;
     if constexpr (std::is_same_v<Net, SyncNetwork>) {
-      adopted = shared_->adopt_network(topo.get());
+      adopted = shared_->adopt_network(topo.get(), plan.format);
     } else {
-      adopted = shared_->adopt_dinetwork(topo.get());
+      adopted = shared_->adopt_dinetwork(topo.get(), plan.format);
     }
     if (adopted == nullptr) {
       slots.push_back({std::make_unique<Net>(g, std::move(topo), ledger,
-                                             std::move(component)),
+                                             std::move(component), plan),
                        true});
       return Lease<Net>(this, idle, slots.back().net.get());
     }
     slots.push_back({std::move(adopted), false});
   }
-  slots[idle].net->rebind(g, std::move(topo), ledger, std::move(component));
+  slots[idle].net->rebind(g, std::move(topo), ledger, std::move(component),
+                          plan);
   slots[idle].busy = true;
   return Lease<Net>(this, idle, slots[idle].net.get());
 }
 
 NetworkPool::NetworkLease NetworkPool::network(const Graph& g,
                                                RoundLedger* ledger,
-                                               std::string component) {
-  return acquire(nets_, g, topology(g), ledger, std::move(component));
+                                               std::string component,
+                                               SlotPlan plan) {
+  return acquire(nets_, g, topology(g), ledger, std::move(component), plan);
 }
 
 NetworkPool::DiNetworkLease NetworkPool::dinetwork(const Digraph& dg,
                                                    RoundLedger* ledger,
-                                                   std::string component) {
-  return acquire(dinets_, dg, topology(dg), ledger, std::move(component));
+                                                   std::string component,
+                                                   SlotPlan plan) {
+  return acquire(dinets_, dg, topology(dg), ledger, std::move(component),
+                 plan);
 }
 
 }  // namespace dec

@@ -149,11 +149,16 @@ class NetworkPool {
   using DiNetworkLease = Lease<DiNetwork>;
 
   /// Lease a run state bound to `g` (topology cached-or-planned), reset and
-  /// charging rounds to `ledger` under `component`.
+  /// charging rounds to `ledger` under `component`. `plan` is the lease's
+  /// slot plan (per-arc for dinetwork, see DiNetwork): the format is part of
+  /// the run-state identity — only same-format idle/parked states are
+  /// reused; a format miss constructs fresh — while the declared width is
+  /// re-bound per lease.
   NetworkLease network(const Graph& g, RoundLedger* ledger = nullptr,
-                       std::string component = "network");
+                       std::string component = "network", SlotPlan plan = {});
   DiNetworkLease dinetwork(const Digraph& dg, RoundLedger* ledger = nullptr,
-                           std::string component = "dinetwork");
+                           std::string component = "dinetwork",
+                           SlotPlan plan = {});
 
   // Introspection (tests and stats). Topology counts are the shared
   // arena's (global across tenant views); run_states() counts this view's.
@@ -177,7 +182,7 @@ class NetworkPool {
   template <class Net, class G, class Topo>
   Lease<Net> acquire(std::vector<Slot<Net>>& slots, const G& g,
                      std::shared_ptr<const Topo> topo, RoundLedger* ledger,
-                     std::string component);
+                     std::string component, SlotPlan plan);
 
   // Releasing clears any installed cancel token: the token belongs to the
   // job that leased the state and may die with it, while the run state
@@ -214,14 +219,14 @@ class ScopedNetwork {
   /// it, so a pooled run state never outlives the token it watched.
   ScopedNetwork(NetworkPool* pool, const Graph& g, RoundLedger* ledger,
                 std::string component, int num_threads,
-                CancelToken* cancel = nullptr) {
+                CancelToken* cancel = nullptr, SlotPlan plan = {}) {
     num_threads = resolve_num_threads(num_threads);
     if (pool != nullptr) {
       DEC_REQUIRE(pool->num_threads() == num_threads,
                   "pool shard count must match the solver's num_threads");
-      lease_ = pool->network(g, ledger, std::move(component));
+      lease_ = pool->network(g, ledger, std::move(component), plan);
     } else {
-      local_.emplace(g, ledger, std::move(component), num_threads);
+      local_.emplace(g, ledger, std::move(component), num_threads, plan);
     }
     (*this)->set_cancel(cancel);
   }
@@ -237,14 +242,14 @@ class ScopedDiNetwork {
  public:
   ScopedDiNetwork(NetworkPool* pool, const Digraph& dg, RoundLedger* ledger,
                   std::string component, int num_threads,
-                  CancelToken* cancel = nullptr) {
+                  CancelToken* cancel = nullptr, SlotPlan arc_plan = {}) {
     num_threads = resolve_num_threads(num_threads);
     if (pool != nullptr) {
       DEC_REQUIRE(pool->num_threads() == num_threads,
                   "pool shard count must match the solver's num_threads");
-      lease_ = pool->dinetwork(dg, ledger, std::move(component));
+      lease_ = pool->dinetwork(dg, ledger, std::move(component), arc_plan);
     } else {
-      local_.emplace(dg, ledger, std::move(component), num_threads);
+      local_.emplace(dg, ledger, std::move(component), num_threads, arc_plan);
     }
     (*this)->set_cancel(cancel);
   }

@@ -135,19 +135,30 @@ std::shared_ptr<const DiTopology> SharedNetworkPool::topology(
 template <class Net, class Topo>
 std::unique_ptr<Net> SharedNetworkPool::adopt(
     std::vector<std::unique_ptr<Net>> StateShard::* list,
-    const Topo* plan_key) {
+    const Topo* plan_key, SlotFormat format) {
   const std::size_t home = shard_of_key(plan_key);
   for (std::size_t step = 0; step < kNumShards; ++step) {
     StateShard& sh = state_shards_[(home + step) % kNumShards];
     std::lock_guard<std::mutex> lock(sh.mu);
     auto& parked = sh.*list;
     if (parked.empty()) continue;
+    // The slot format is structural: only a same-format state is a
+    // candidate (rebind can re-declare the width but never swap planes).
+    // Newest-first keeps the historical LIFO behavior among matches.
+    std::size_t pick = parked.size();
+    for (std::size_t i = parked.size(); i-- > 0;) {
+      if (parked[i]->slot_format() == format) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == parked.size()) continue;  // no same-format state here
     // In the home shard, prefer a state bound to this exact plan so the
     // caller's rebind degenerates to an O(shards) reset.
-    std::size_t pick = parked.size() - 1;
     if (step == 0) {
       for (std::size_t i = 0; i < parked.size(); ++i) {
-        if (parked[i]->topology().get() == plan_key) {
+        if (parked[i]->topology().get() == plan_key &&
+            parked[i]->slot_format() == format) {
           pick = i;
           break;
         }
@@ -162,13 +173,13 @@ std::unique_ptr<Net> SharedNetworkPool::adopt(
 }
 
 std::unique_ptr<SyncNetwork> SharedNetworkPool::adopt_network(
-    const NetworkTopology* plan_key) {
-  return adopt(&StateShard::nets, plan_key);
+    const NetworkTopology* plan_key, SlotFormat format) {
+  return adopt(&StateShard::nets, plan_key, format);
 }
 
 std::unique_ptr<DiNetwork> SharedNetworkPool::adopt_dinetwork(
-    const DiTopology* plan_key) {
-  return adopt(&StateShard::dinets, plan_key);
+    const DiTopology* plan_key, SlotFormat format) {
+  return adopt(&StateShard::dinets, plan_key, format);
 }
 
 template <class Net>

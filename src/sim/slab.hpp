@@ -26,6 +26,27 @@ class MessageSlab {
   /// block lives until the next reset().
   std::int64_t* allocate(std::size_t n);
 
+  /// Bump-allocate an index-addressed block of `n` fields and return its
+  /// field index (resolve with at_index). Unlike allocate(), every chunk on
+  /// this path is exactly kChunkFields fields, so an index decomposes as
+  /// chunk = idx >> kChunkShift, offset = idx & (kChunkFields - 1), and a
+  /// block never straddles chunks. Serves the narrow slot plane, whose 24-bit
+  /// spill indices cannot hold a pointer; a narrow-format network's slabs see
+  /// only this path (format immutability — no oversized allocate() chunks
+  /// ever mix in), so index addressing stays valid across reuse. Requires
+  /// n <= kChunkFields; throws (actionably) past the 24-bit index space.
+  std::uint32_t allocate_index(std::size_t n);
+
+  /// Resolve an allocate_index() block.
+  const std::int64_t* at_index(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift].data.get() +
+           (idx & (kChunkFields - 1));
+  }
+  std::int64_t* at_index(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift].data.get() +
+           (idx & (kChunkFields - 1));
+  }
+
   /// Rewind the arena. All previously allocated blocks become invalid, but
   /// their chunks are kept for reuse.
   void reset();
@@ -42,7 +63,8 @@ class MessageSlab {
   }
 
  private:
-  static constexpr std::size_t kChunkFields = 1 << 14;  // 128 KiB per chunk
+  static constexpr std::size_t kChunkShift = 14;
+  static constexpr std::size_t kChunkFields = 1 << kChunkShift;  // 128 KiB
 
   struct Chunk {
     std::unique_ptr<std::int64_t[]> data;

@@ -145,6 +145,10 @@ std::shared_ptr<const DiTopology> DiTopology::plan(const Digraph& dg,
     topo->ref_[static_cast<std::size_t>(a)].lane_count = lane_count
         [static_cast<std::size_t>(arc_edge[static_cast<std::size_t>(a)])];
   }
+  topo->max_lane_count_ = 1;
+  for (const std::uint32_t c : lane_count) {
+    if (c > topo->max_lane_count_) topo->max_lane_count_ = c;
+  }
 
   // Per-incidence packing lists: for v's incidence of edge e, the scratch
   // slots of v's side of every lane of e, in lane order.

@@ -113,6 +113,12 @@ class DiTopology {
 
   std::span<const ArcRef> refs() const { return ref_; }
 
+  /// Largest lane count of any support edge (1 when the digraph has no
+  /// arcs). Sizes the per-support-slot declared width of a narrow arc plan:
+  /// a framed multi-lane message carries max_lane_count * (1 + w) fields for
+  /// per-arc width w.
+  std::uint32_t max_lane_count() const { return max_lane_count_; }
+
   /// Per-incidence packing lists: incidence I = soff()[v] + i owns scratch
   /// slots pack()[pack_off()[I] .. pack_off()[I+1]), in lane order. A
   /// forward sub-channel's slot is its arc id, a backward one's is
@@ -131,6 +137,7 @@ class DiTopology {
   Graph support_;
   std::shared_ptr<const NetworkTopology> net_topo_;
   std::vector<ArcRef> ref_;        // per arc
+  std::uint32_t max_lane_count_ = 1;
   std::vector<std::size_t> soff_;  // n + 1 support incidence offsets
   std::vector<std::size_t> pack_off_;
   std::vector<std::uint32_t> pack_;

@@ -1,0 +1,193 @@
+// Narrow-vs-wide bit-identity at the solver level: every solver that opted
+// into the 16 B narrow slot plane (Linial, defective precolor + refine,
+// token dropping, balanced orientation with its embedded games) must produce
+// the same outputs, audited rounds, message widths/counts, and full ledger
+// breakdowns under SlotFormat::kNarrow as under kWide — fresh and pooled,
+// serial and 2/4-shard, across random/grid/star families with >= 20 seeds
+// each. The narrow format is a pure storage optimization; any divergence
+// here is a substrate bug, not a tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "coloring/defective.hpp"
+#include "coloring/linial.hpp"
+#include "core/balanced_orientation.hpp"
+#include "core/token_dropping.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/generators.hpp"
+#include "sim/ledger.hpp"
+#include "sim/pool.hpp"
+#include "util/rng.hpp"
+
+namespace dec {
+namespace {
+
+Graph family_graph(int family, int seed, Rng& rng) {
+  switch (family) {
+    case 0: return gen::gnp(40 + seed, 0.12, rng);
+    case 1: return gen::grid(4 + seed % 4, 5 + seed % 5);
+    default: return gen::star(20 + 2 * seed);
+  }
+}
+
+auto linial_key(const LinialResult& r) {
+  return std::tuple(r.colors, r.palette, r.rounds, r.iterations,
+                    r.max_message_bits);
+}
+
+auto defective_key(const DefectiveResult& r) {
+  return std::tuple(r.colors, r.palette, r.rounds, r.max_defect, r.sweeps,
+                    r.converged, r.max_message_bits, r.messages);
+}
+
+auto token_key(const TokenDroppingResult& r) {
+  return std::tuple(r.tokens, r.edge_passive, r.phases, r.rounds,
+                    r.tokens_moved, r.max_message_bits);
+}
+
+std::vector<NodeId> heads_of(const Orientation& o) {
+  std::vector<NodeId> heads(static_cast<std::size_t>(o.graph().num_edges()));
+  for (EdgeId e = 0; e < o.graph().num_edges(); ++e) {
+    heads[static_cast<std::size_t>(e)] = o.head(e);
+  }
+  return heads;
+}
+
+auto orientation_key(const BalancedOrientationResult& r) {
+  return std::tuple(heads_of(r.orientation), r.phases, r.rounds, r.flips,
+                    r.leftover_edges, r.leftover_edge, r.max_excess,
+                    r.max_message_bits);
+}
+
+TEST(NarrowEquivalence, Linial) {
+  NetworkPool pools[] = {NetworkPool(1), NetworkPool(2), NetworkPool(4)};
+  const int threads[] = {1, 2, 4};
+  for (int family = 0; family < 3; ++family) {
+    for (int seed = 0; seed < 20; ++seed) {
+      Rng rng(4000 + 100 * family + static_cast<std::uint64_t>(seed));
+      const Graph g = family_graph(family, seed, rng);
+      RoundLedger wide_ledger;
+      const LinialResult wide =
+          linial_color(g, &wide_ledger, {}, 0, 1, nullptr, nullptr,
+                       SlotFormat::kWide);
+      for (int ti = 0; ti < 3; ++ti) {
+        RoundLedger ledger;
+        const LinialResult narrow =
+            linial_color(g, &ledger, {}, 0, threads[ti], &pools[ti], nullptr,
+                         SlotFormat::kNarrow);
+        EXPECT_EQ(linial_key(wide), linial_key(narrow))
+            << "family " << family << " seed " << seed << " threads "
+            << threads[ti];
+        EXPECT_EQ(wide_ledger.breakdown(), ledger.breakdown());
+      }
+      // Fresh (unpooled) narrow run too.
+      RoundLedger fresh_ledger;
+      const LinialResult fresh = linial_color(g, &fresh_ledger, {}, 0, 1,
+                                              nullptr, nullptr,
+                                              SlotFormat::kNarrow);
+      EXPECT_EQ(linial_key(wide), linial_key(fresh));
+      EXPECT_EQ(wide_ledger.breakdown(), fresh_ledger.breakdown());
+    }
+  }
+}
+
+TEST(NarrowEquivalence, DefectivePrecolorAndRefine) {
+  NetworkPool pools[] = {NetworkPool(1), NetworkPool(2), NetworkPool(4)};
+  const int threads[] = {1, 2, 4};
+  for (int family = 0; family < 3; ++family) {
+    for (int seed = 0; seed < 20; ++seed) {
+      Rng rng(5000 + 100 * family + static_cast<std::uint64_t>(seed));
+      const Graph g = family_graph(family, seed, rng);
+      if (g.max_degree() < 2) continue;
+      const LinialResult lin = linial_color(g);
+      RoundLedger wide_ledger;
+      const DefectiveResult wide =
+          defective_4_coloring(g, lin.colors, lin.palette, 0.5, &wide_ledger,
+                               1, nullptr, nullptr, SlotFormat::kWide);
+      for (int ti = 0; ti < 3; ++ti) {
+        RoundLedger ledger;
+        const DefectiveResult narrow = defective_4_coloring(
+            g, lin.colors, lin.palette, 0.5, &ledger, threads[ti], &pools[ti],
+            nullptr, SlotFormat::kNarrow);
+        EXPECT_EQ(defective_key(wide), defective_key(narrow))
+            << "family " << family << " seed " << seed << " threads "
+            << threads[ti];
+        EXPECT_EQ(wide_ledger.breakdown(), ledger.breakdown());
+      }
+    }
+  }
+}
+
+TEST(NarrowEquivalence, TokenDropping) {
+  NetworkPool pools[] = {NetworkPool(1), NetworkPool(2), NetworkPool(4)};
+  const int threads[] = {1, 2, 4};
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(6000 + static_cast<std::uint64_t>(seed));
+    const Digraph game = seed % 2 == 0
+                             ? layered_game(3, 8 + seed, 3, rng)
+                             : random_game(24 + seed, 0.1, rng);
+    TokenDroppingParams p;
+    p.k = 6;
+    p.delta = 2;
+    std::vector<int> init(static_cast<std::size_t>(game.num_nodes()));
+    for (auto& t : init) t = static_cast<int>(rng.next_u64() % (p.k + 1));
+
+    TokenDroppingParams wide_p = p;
+    wide_p.slot_format = SlotFormat::kWide;
+    RoundLedger wide_ledger;
+    const TokenDroppingResult wide =
+        run_token_dropping(game, init, wide_p, &wide_ledger, 1);
+    for (int ti = 0; ti < 3; ++ti) {
+      TokenDroppingParams narrow_p = p;
+      narrow_p.slot_format = SlotFormat::kNarrow;
+      RoundLedger ledger;
+      const TokenDroppingResult narrow = run_token_dropping(
+          game, init, narrow_p, &ledger, threads[ti], &pools[ti]);
+      EXPECT_EQ(token_key(wide), token_key(narrow))
+          << "seed " << seed << " threads " << threads[ti];
+      EXPECT_EQ(wide_ledger.breakdown(), ledger.breakdown());
+    }
+  }
+}
+
+TEST(NarrowEquivalence, BalancedOrientation) {
+  NetworkPool pools[] = {NetworkPool(1), NetworkPool(2), NetworkPool(4)};
+  const int threads[] = {1, 2, 4};
+  for (int family = 0; family < 3; ++family) {
+    for (int seed = 0; seed < 20; ++seed) {
+      Rng rng(7000 + 100 * family + static_cast<std::uint64_t>(seed));
+      Graph g = family == 0 ? gen::random_bipartite(
+                                  18 + seed, 16 + (seed * 3) % 9, 0.15, rng)
+                                  .graph
+                            : family_graph(family, seed, rng);
+      const auto parts = try_bipartition(g);
+      if (!parts.has_value()) continue;
+      std::vector<double> eta(static_cast<std::size_t>(g.num_edges()));
+      for (auto& v : eta) v = 3.0 * (2.0 * rng.next_double() - 1.0);
+
+      OrientationParams p;
+      p.nu = seed % 2 == 0 ? 0.125 : 0.0625;
+      p.slot_format = SlotFormat::kWide;
+      RoundLedger wide_ledger;
+      const BalancedOrientationResult wide =
+          balanced_orientation(g, *parts, eta, p, &wide_ledger, 1);
+      for (int ti = 0; ti < 3; ++ti) {
+        OrientationParams np = p;
+        np.slot_format = SlotFormat::kNarrow;
+        RoundLedger ledger;
+        const BalancedOrientationResult narrow = balanced_orientation(
+            g, *parts, eta, np, &ledger, threads[ti], &pools[ti]);
+        EXPECT_EQ(orientation_key(wide), orientation_key(narrow))
+            << "family " << family << " seed " << seed << " threads "
+            << threads[ti];
+        EXPECT_EQ(wide_ledger.breakdown(), ledger.breakdown());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dec

@@ -1,0 +1,171 @@
+// Pool format safety: the slot-plane format is STRUCTURAL — part of a run
+// state's identity. A narrow run state parked in the arena must never be
+// adopted for a wide lease (or vice versa); the pool reconstructs instead.
+// Pinned directly on SharedNetworkPool's park/adopt, through the NetworkPool
+// view (idle-slot filtering), and under a multi-threaded lease/park/adopt
+// stress that TSan checks for races on the format-filtered scan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/dinetwork.hpp"
+#include "sim/network.hpp"
+#include "sim/pool.hpp"
+#include "sim/shared_pool.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dec {
+namespace {
+
+// One narrow round on a leased network, verifying the lease carries the
+// requested format and delivers correctly on it.
+void echo_round(SyncNetwork& net, SlotFormat format) {
+  ASSERT_EQ(net.slot_format(), format);
+  const Graph& g = net.graph();
+  net.round_fast([&](NodeId v, const auto&, auto&& out) {
+    for (auto&& m : out) m.assign({v});
+  });
+  net.drain_fast([&](NodeId v, const auto& in) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_FALSE(in[i].empty());
+      ASSERT_EQ(in[i].at(0), static_cast<std::int64_t>(nb[i].neighbor));
+    }
+  });
+}
+
+TEST(PoolFormat, SharedParkAdoptFiltersByFormat) {
+  SharedNetworkPool shared(1);
+  const Graph g = gen::cycle(8);
+  const auto topo = shared.topology(g);
+
+  auto narrow_net = std::make_unique<SyncNetwork>(
+      g, topo, nullptr, "narrow", SlotPlan{SlotFormat::kNarrow, 1});
+  SyncNetwork* narrow_raw = narrow_net.get();
+  shared.park(std::move(narrow_net));
+  EXPECT_EQ(shared.parked_run_states(), 1u);
+
+  // A wide lease must NOT adopt the narrow state.
+  EXPECT_EQ(shared.adopt_network(topo.get(), SlotFormat::kWide), nullptr);
+  EXPECT_EQ(shared.parked_run_states(), 1u);
+
+  // A narrow lease gets exactly that state back.
+  auto adopted = shared.adopt_network(topo.get(), SlotFormat::kNarrow);
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted.get(), narrow_raw);
+  EXPECT_EQ(adopted->slot_format(), SlotFormat::kNarrow);
+
+  // And the mirror direction: a parked wide state never serves narrow.
+  auto wide_net = std::make_unique<SyncNetwork>(g, topo, nullptr, "wide",
+                                                SlotPlan{});
+  shared.park(std::move(wide_net));
+  EXPECT_EQ(shared.adopt_network(topo.get(), SlotFormat::kNarrow), nullptr);
+  EXPECT_NE(shared.adopt_network(topo.get(), SlotFormat::kWide), nullptr);
+}
+
+TEST(PoolFormat, SharedParkAdoptFiltersByFormatDiNetwork) {
+  SharedNetworkPool shared(1);
+  const Digraph dg(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto topo = shared.topology(dg);
+
+  auto narrow_net = std::make_unique<DiNetwork>(
+      dg, topo, nullptr, "narrow", SlotPlan{SlotFormat::kNarrow, 2});
+  shared.park(std::move(narrow_net));
+  EXPECT_EQ(shared.adopt_dinetwork(topo.get(), SlotFormat::kWide), nullptr);
+  auto adopted = shared.adopt_dinetwork(topo.get(), SlotFormat::kNarrow);
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted->slot_format(), SlotFormat::kNarrow);
+}
+
+TEST(PoolFormat, ViewReconstructsOnFormatMiss) {
+  // One view, one graph: a narrow lease released back to the view must not
+  // be handed out again for a wide lease (and vice versa); the view grows a
+  // second run state instead, and both keep working.
+  NetworkPool pool(1);
+  const Graph g = gen::grid(4, 5);
+  {
+    auto lease = pool.network(g, nullptr, "a",
+                              SlotPlan{SlotFormat::kNarrow, 1});
+    echo_round(*lease, SlotFormat::kNarrow);
+  }
+  EXPECT_EQ(pool.run_states(), 1u);
+  {
+    auto lease = pool.network(g, nullptr, "b", SlotPlan{});
+    echo_round(*lease, SlotFormat::kWide);
+  }
+  // Format miss -> fresh construction, not reuse of the narrow state.
+  EXPECT_EQ(pool.run_states(), 2u);
+  {
+    // Both formats now warm: leases land on the matching state, no growth.
+    auto narrow = pool.network(g, nullptr, "c",
+                               SlotPlan{SlotFormat::kNarrow, 1});
+    auto wide = pool.network(g, nullptr, "d", SlotPlan{});
+    echo_round(*narrow, SlotFormat::kNarrow);
+    echo_round(*wide, SlotFormat::kWide);
+  }
+  EXPECT_EQ(pool.run_states(), 2u);
+}
+
+TEST(PoolFormat, CrossViewLeaseNeverAdoptsOtherFormat) {
+  // View 1 parks a narrow state on destruction; view 2 asks wide. It must
+  // reconstruct (fresh wide state), then a narrow view 3 may adopt the
+  // parked narrow one.
+  SharedNetworkPool shared(1);
+  const Graph g = gen::star(12);
+  {
+    NetworkPool view(shared);
+    auto lease = view.network(g, nullptr, "n",
+                              SlotPlan{SlotFormat::kNarrow, 1});
+    echo_round(*lease, SlotFormat::kNarrow);
+  }
+  EXPECT_EQ(shared.parked_run_states(), 1u);
+  {
+    NetworkPool view(shared);
+    auto lease = view.network(g, nullptr, "w", SlotPlan{});
+    echo_round(*lease, SlotFormat::kWide);
+  }
+  // The narrow state was not consumed by the wide lease; both are parked.
+  EXPECT_EQ(shared.parked_run_states(), 2u);
+  {
+    NetworkPool view(shared);
+    auto lease = view.network(g, nullptr, "n2",
+                              SlotPlan{SlotFormat::kNarrow, 1});
+    echo_round(*lease, SlotFormat::kNarrow);
+    EXPECT_EQ(view.run_states(), 1u);  // adopted, not constructed
+  }
+}
+
+TEST(PoolFormat, ConcurrentMixedFormatLeaseStress) {
+  // Tenants on their own threads lease alternating formats over one shared
+  // arena, so format-filtered adopt scans race with parks. TSan watches the
+  // arena; the asserts watch that no lease ever carries the wrong format.
+  SharedNetworkPool shared(1);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 40;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&shared, t] {
+      Rng rng(900 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        NetworkPool view(shared);
+        const Graph g = i % 2 == 0 ? gen::cycle(16 + t)
+                                   : gen::grid(3 + t, 4 + i % 3);
+        const SlotFormat fmt = (i + t) % 2 == 0 ? SlotFormat::kNarrow
+                                                : SlotFormat::kWide;
+        const int width = fmt == SlotFormat::kNarrow ? 1 : 0;
+        auto lease = view.network(g, nullptr, "stress", SlotPlan{fmt, width});
+        echo_round(*lease, fmt);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+}  // namespace dec
