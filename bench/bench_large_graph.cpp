@@ -250,6 +250,49 @@ BENCHMARK_TEMPLATE(BM_LargeNetworkRoundNarrow, Family::kGrid)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Narrow slots x single message plane: the minimum-memory delivery path for
+// drain-free protocols. Compare run_state_bytes_per_node against
+// BM_LargeNetworkRoundNarrow for the plane-mode win on top of the format
+// win; the large-graph CI smoke asserts single <= 0.75x the two-plane
+// narrow run state (the model says ~0.55x) with items/s no worse.
+template <Family family>
+void BM_LargeNetworkRoundNarrowSingle(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Graph g = read_csr(cached_csr(family, n), CsrTrust::kTrusted);
+  NetworkPool pool(threads);
+  auto lease = pool.network(
+      g, nullptr, "network",
+      SlotPlan{SlotFormat::kNarrow, 1, PlaneMode::kSingle});
+  for (auto _ : state) {
+    lease->round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+  set_graph_counters(state, g);
+  const auto topo = pool.topology(g);
+  const double nodes = static_cast<double>(g.num_nodes());
+  state.counters["plan_bytes_per_node"] =
+      static_cast<double>(topo->memory_bytes()) / nodes;
+  state.counters["run_state_bytes_per_node"] =
+      static_cast<double>(lease->memory_bytes()) / nodes;
+  state.counters["total_bytes_per_node"] =
+      static_cast<double>(g.memory_bytes() + topo->memory_bytes() +
+                          lease->memory_bytes()) /
+      nodes;
+}
+BENCHMARK_TEMPLATE(BM_LargeNetworkRoundNarrowSingle, Family::kPowerLaw)
+    ->Args({1000000, 1})
+    ->Args({1000000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_LargeNetworkRoundNarrowSingle, Family::kGrid)
+    ->Args({1000000, 1})
+    ->Args({1000000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -80,8 +80,8 @@ void BM_NetworkReset(benchmark::State& state) {
       static_cast<NodeId>(state.range(0)), 8, rng);
   SyncNetwork net(g);
   for (auto _ : state) {
-    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
-      for (auto& m : out) m = Message{v};
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
     });
     net.reset();
     benchmark::DoNotOptimize(net.rounds_executed());
@@ -99,8 +99,8 @@ void BM_NetworkReconstruct(benchmark::State& state) {
       static_cast<NodeId>(state.range(0)), 8, rng);
   for (auto _ : state) {
     SyncNetwork net(g);
-    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
-      for (auto& m : out) m = Message{v};
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
     });
     benchmark::DoNotOptimize(net.rounds_executed());
   }
@@ -131,8 +131,8 @@ void BM_NetworkRoundFast(benchmark::State& state) {
       static_cast<NodeId>(state.range(0)), 8, rng);
   SyncNetwork net(g);
   for (auto _ : state) {
-    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
-      for (auto& m : out) m = Message{v};
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
     });
   }
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
@@ -159,6 +159,48 @@ void BM_NetworkRoundNarrow(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRoundNarrow)->Arg(1000)->Arg(10000);
 
+// BM_NetworkRoundFast on a single message plane (PlaneMode::kSingle): same
+// echo workload delivered via parity-alternating slot ownership instead of
+// the plane swap. The delta to BM_NetworkRoundFast is the round-path cost
+// (target: none) of the mode that halves plane memory for drain-free
+// protocols; bytes_per_node shows the halved run state.
+void BM_NetworkRoundSinglePlane(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g, nullptr, "network", 1,
+                  SlotPlan{SlotFormat::kWide, 0, PlaneMode::kSingle});
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+  state.counters["bytes_per_node"] = static_cast<double>(net.memory_bytes()) /
+                                     static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_NetworkRoundSinglePlane)->Arg(1000)->Arg(10000);
+
+// Narrow format x single plane: the fully-composed minimum-memory delivery
+// path (16 B slots, one plane). Compare bytes_per_node against
+// BM_NetworkRoundNarrow for the plane-mode win on top of the format win.
+void BM_NetworkRoundSinglePlaneNarrow(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(
+      static_cast<NodeId>(state.range(0)), 8, rng);
+  SyncNetwork net(g, nullptr, "network", 1,
+                  SlotPlan{SlotFormat::kNarrow, 1, PlaneMode::kSingle});
+  for (auto _ : state) {
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+  state.counters["bytes_per_node"] = static_cast<double>(net.memory_bytes()) /
+                                     static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_NetworkRoundSinglePlaneNarrow)->Arg(1000)->Arg(10000);
+
 // BM_NetworkRoundFast with an installed (never-tripping) CancelToken: the
 // cost of the relaxed aborted() load the barrier pays per round when a
 // token is present. Compare against BM_NetworkRoundFast for the delta.
@@ -170,8 +212,8 @@ void BM_NetworkRoundCancelToken(benchmark::State& state) {
   CancelToken token;
   net.set_cancel(&token);
   for (auto _ : state) {
-    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
-      for (auto& m : out) m = Message{v};
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
     });
   }
   net.set_cancel(nullptr);
@@ -186,8 +228,8 @@ void BM_NetworkRoundParallel(benchmark::State& state) {
       static_cast<NodeId>(state.range(0)), 8, rng);
   SyncNetwork net(g, nullptr, "network", static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
-      for (auto& m : out) m = Message{v};
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) m.assign({v});
     });
   }
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
@@ -204,8 +246,8 @@ void BM_NetworkRoundSpill(benchmark::State& state) {
       static_cast<NodeId>(state.range(0)), 8, rng);
   SyncNetwork net(g);
   for (auto _ : state) {
-    net.round_fast([](NodeId v, const Inbox&, Outbox& out) {
-      for (auto& m : out) {
+    net.round_fast([](NodeId v, const auto&, auto&& out) {
+      for (auto&& m : out) {
         for (std::int64_t k = 0;
              k < static_cast<std::int64_t>(2 * Message::kInlineFields); ++k) {
           m.push(v + k);
@@ -412,8 +454,8 @@ void BM_SharedPoolContention(benchmark::State& state) {
         for (int i = 0; i < kLeasesPerTenant; ++i) {
           auto lease =
               view.network(graphs[static_cast<std::size_t>(t)]);
-          lease->round_fast([](NodeId v, const Inbox&, Outbox& out) {
-            for (auto& m : out) m = Message{v};
+          lease->round_fast([](NodeId v, const auto&, auto&& out) {
+            for (auto&& m : out) m.assign({v});
           });
         }
       });

@@ -23,15 +23,24 @@ printed), 125 = the tool itself failed (unreadable/malformed JSON, ...).
 run_benches.sh distinguishes the two non-zero cases so a tooling crash is
 never reported as a perf regression.
 
+--reprobe-flagged BIN re-runs exactly the flagged benchmarks from BIN (a
+google-benchmark binary) at 5 repetitions and prints the probe median next
+to the recorded values — a one-repetition flag on the shared box is as
+likely a slow scheduling window as a regression, and the probe says which.
+The probe is ADVISORY: the exit code still reflects the recorded files, so
+a lucky probe can never mask a recorded regression.
+
 --self-test runs the built-in checks of the aggregation and flagging logic
 (median beats a planted outlier, aggregate-row skipping, missing-benchmark
-accounting) and exits 0 on success; CI invokes it so the delta tooling
-cannot rot silently either.
+accounting, reprobe verdicts via an injected runner) and exits 0 on
+success; CI invokes it so the delta tooling cannot rot silently either.
 """
 import argparse
 import io
 import json
+import re
 import statistics
+import subprocess
 import sys
 
 
@@ -118,9 +127,16 @@ def fmt_time(ns):
 
 
 def report(old, new, threshold, out=sys.stdout, err=sys.stderr):
-    """Print the delta table; return the number of flagged regressions."""
+    """Print the delta table.
+
+    Returns (regression_count, flagged_names): the count drives the exit
+    code and includes missing-from-new benchmarks; flagged_names lists only
+    the common rows that regressed — the ones a --reprobe-flagged run can
+    actually re-execute.
+    """
     common = [n for n in new if n in old]
     regressions = 0
+    flagged = []
     if common:
         width = max(len(n) for n in common)
         print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  "
@@ -144,6 +160,7 @@ def report(old, new, threshold, out=sys.stdout, err=sys.stderr):
         if dt > threshold:
             flag = "  !! REGRESSION"
             regressions += 1
+            flagged.append(name)
         print(f"{name:<{width}}  {fmt_time(o['real_time']):>10}  "
               f"{fmt_time(n['real_time']):>10}  {dt:+7.1f}%  "
               f"{ips}{flag}", file=out)
@@ -159,7 +176,48 @@ def report(old, new, threshold, out=sys.stdout, err=sys.stderr):
     if regressions:
         print(f"{regressions} benchmark(s) regressed more than "
               f"{threshold:.0f}% in real time or went missing", file=err)
-    return regressions
+    return regressions, flagged
+
+
+def reprobe_flagged(binary, flagged, old, threshold, out=sys.stdout,
+                    err=sys.stderr, run_fn=None):
+    """Advisory re-run of the flagged benchmarks at 5 repetitions.
+
+    Runs `binary --benchmark_filter=^(n1|n2)$ --benchmark_repetitions=5`
+    and prints each flagged row's probe median against the recorded
+    baseline: CONFIRMED when the probe regresses past the threshold too,
+    "probably noise" when it lands back inside. `run_fn` (filter_regex ->
+    benchmark JSON dict) is injectable for the self-test; the default
+    shells out to the binary. Never changes the exit code.
+    """
+    if run_fn is None:
+        def run_fn(filter_regex):
+            res = subprocess.run(
+                [binary, f"--benchmark_filter={filter_regex}",
+                 "--benchmark_repetitions=5", "--benchmark_format=json"],
+                capture_output=True, text=True, check=True)
+            return json.loads(res.stdout)
+    pattern = "^(" + "|".join(re.escape(n) for n in flagged) + ")$"
+    print(f"reprobing {len(flagged)} flagged benchmark(s) at 5 repetitions",
+          file=out)
+    probe = parse(run_fn(pattern))
+    confirmed = 0
+    for name in flagged:
+        if name not in probe:
+            print(f"  {name}: did not run under the reprobe filter",
+                  file=err)
+            continue
+        o, p = old[name], probe[name]
+        dt = 100.0 * (p["real_time"] - o["real_time"]) / o["real_time"]
+        verdict = "CONFIRMED" if dt > threshold else "probably noise"
+        if dt > threshold:
+            confirmed += 1
+        print(f"  {name}: baseline {fmt_time(o['real_time'])}, "
+              f"probe median {fmt_time(p['real_time'])} ({dt:+.1f}%) "
+              f"-> {verdict}", file=out)
+    print(f"reprobe verdict: {confirmed}/{len(flagged)} confirmed "
+          f"(advisory; exit code reflects the recorded files)", file=out)
+    return confirmed
 
 
 def _bench(name, real_time, items=0.0, unit="ns", run_type="iteration"):
@@ -179,14 +237,15 @@ def self_test():
         _bench("BM_X/10", 500.0),
     ]})
     assert noisy["BM_X/10"]["real_time"] == 102.0, noisy
-    assert report(base, noisy, 10.0, out=sink, err=sink) == 0
+    assert report(base, noisy, 10.0, out=sink, err=sink) == (0, [])
 
-    # ... and a genuine regression present in every repetition still flags.
+    # ... and a genuine regression present in every repetition still flags
+    # (and lands in the reprobe-able flagged list).
     slow = parse({"benchmarks": [
         _bench("BM_X/10", 130.0), _bench("BM_X/10", 131.0),
         _bench("BM_X/10", 132.0),
     ]})
-    assert report(base, slow, 10.0, out=sink, err=sink) == 1
+    assert report(base, slow, 10.0, out=sink, err=sink) == (1, ["BM_X/10"])
 
     # 2. google-benchmark aggregate rows are skipped, whatever they claim.
     agg = parse({"benchmarks": [
@@ -199,11 +258,12 @@ def self_test():
     # 3. Time units normalize: 0.1 us == 100 ns, no flag.
     us = parse({"benchmarks": [_bench("BM_X/10", 0.1, unit="us")]})
     assert us["BM_X/10"]["real_time"] == 100.0, us
-    assert report(base, us, 10.0, out=sink, err=sink) == 0
+    assert report(base, us, 10.0, out=sink, err=sink) == (0, [])
 
-    # 4. A benchmark missing from the new run counts as a regression.
+    # 4. A benchmark missing from the new run counts as a regression, but is
+    # not reprobe-able (there is nothing to re-run).
     assert report(base, parse({"benchmarks": []}), 10.0,
-                  out=sink, err=sink) == 1
+                  out=sink, err=sink) == (1, [])
 
     # 5. Rows new in the new run (e.g. a narrow-plane bench added alongside
     # its wide sibling) are reported as baseline-less, never flagged: adding
@@ -213,7 +273,7 @@ def self_test():
         _bench("BM_NetworkRoundNarrow/10000", 50.0, items=2.0),
     ]})
     new_sink = io.StringIO()
-    assert report(base, widened, 10.0, out=new_sink, err=new_sink) == 0
+    assert report(base, widened, 10.0, out=new_sink, err=new_sink) == (0, [])
     assert "BM_NetworkRoundNarrow/10000" in new_sink.getvalue(), \
         new_sink.getvalue()
     assert "no baseline" in new_sink.getvalue(), new_sink.getvalue()
@@ -241,7 +301,36 @@ def self_test():
     assert len(rows) == 7, rows
     slow_svc = dict(svc, latency_ms={"p50": 0.2, "p95": 1.0, "p99": 3.0})
     assert report(parse(svc), parse(slow_svc), 10.0,
-                  out=sink, err=sink) == 1
+                  out=sink, err=sink)[0] == 1
+
+    # 8. Reprobe verdicts through an injected runner: a probe median that
+    # regresses too says CONFIRMED; one back inside the threshold says
+    # noise. The runner must receive an exact-name anchored filter.
+    seen_filters = []
+
+    def fake_run(filter_regex, result=[]):
+        seen_filters.append(filter_regex)
+        return {"benchmarks": [
+            _bench("BM_X/10", 131.0), _bench("BM_X/10", 130.0),
+            _bench("BM_X/10", 500.0), _bench("BM_X/10", 129.0),
+            _bench("BM_X/10", 132.0),
+        ]}
+
+    probe_sink = io.StringIO()
+    assert reprobe_flagged("unused", ["BM_X/10"], base, 10.0,
+                           out=probe_sink, err=probe_sink,
+                           run_fn=fake_run) == 1
+    assert seen_filters == ["^(BM_X/10)$"], seen_filters
+    assert "CONFIRMED" in probe_sink.getvalue(), probe_sink.getvalue()
+
+    def fake_run_ok(filter_regex):
+        return {"benchmarks": [_bench("BM_X/10", 101.0)] * 5}
+
+    probe_sink = io.StringIO()
+    assert reprobe_flagged("unused", ["BM_X/10"], base, 10.0,
+                           out=probe_sink, err=probe_sink,
+                           run_fn=fake_run_ok) == 0
+    assert "probably noise" in probe_sink.getvalue(), probe_sink.getvalue()
 
     print("compare_benches.py self-test OK")
     return 0
@@ -255,6 +344,10 @@ def main():
                     help="flag real_time regressions above this percent")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in aggregation/flagging checks")
+    ap.add_argument("--reprobe-flagged", metavar="BIN",
+                    help="re-run flagged benchmarks from this binary at 5 "
+                         "repetitions and report the probe median "
+                         "(advisory; exit code unchanged)")
     args = ap.parse_args()
 
     if args.self_test:
@@ -262,7 +355,11 @@ def main():
     if args.old is None or args.new is None:
         ap.error("OLD.json and NEW.json are required unless --self-test")
 
-    return 1 if report(load(args.old), load(args.new), args.threshold) else 0
+    old = load(args.old)
+    regressions, flagged = report(old, load(args.new), args.threshold)
+    if flagged and args.reprobe_flagged:
+        reprobe_flagged(args.reprobe_flagged, flagged, old, args.threshold)
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

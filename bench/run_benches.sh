@@ -12,7 +12,13 @@
 # The shared 1-core box drifts ±10% run to run; set BENCH_REPETITIONS=3 (or
 # more) to record every benchmark N times — the delta report aggregates
 # repetitions by median, which is what keeps one slow window from reading as
-# a regression.
+# a regression. Set BENCH_REPROBE=1 to auto re-run any flagged benchmark at
+# 5 repetitions and print the probe median (advisory — it labels flags as
+# CONFIRMED or probable noise, never changes the verdict).
+#
+# Every BENCH_*.json is stamped with a run_metadata block (git sha, nproc,
+# 1/5/15-min loadavg, hostname) so a recorded number can always be traced to
+# the commit and box conditions that produced it.
 #
 # Usage: bench/run_benches.sh [build_dir] [out_dir]
 #   build_dir: CMake build tree containing the bench binaries (default: build)
@@ -26,9 +32,39 @@ MIN_TIME=${BENCH_MIN_TIME:-2}
 REPETITIONS=${BENCH_REPETITIONS:-1}
 REGRESSION_PCT=${BENCH_REGRESSION_PCT:-10}
 FAIL_ON_REGRESSION=${BENCH_FAIL_ON_REGRESSION:-0}
+REPROBE=${BENCH_REPROBE:-0}
 SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
 
 mkdir -p "$OUT_DIR"
+
+# Stamp provenance into a recorded JSON: which commit produced the number,
+# and what the box looked like while it ran. compare_benches.py ignores
+# extra top-level keys, so stamped files diff exactly like unstamped ones.
+stamp_metadata() {
+  python3 - "$1" <<'PY'
+import json, os, socket, subprocess, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+try:
+    sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                         text=True, check=True).stdout.strip()
+except Exception:
+    sha = "unknown"
+load1, load5, load15 = os.getloadavg()
+data["run_metadata"] = {
+    "git_sha": sha,
+    "nproc": os.cpu_count(),
+    "loadavg_1m": load1,
+    "loadavg_5m": load5,
+    "loadavg_15m": load15,
+    "hostname": socket.gethostname(),
+}
+with open(path, "w") as f:
+    json.dump(data, f, indent=1)
+PY
+}
 
 # Google-benchmark binaries are the ones that understand --benchmark_format.
 GBENCH_BINARIES=(bench_substrate_micro)
@@ -60,6 +96,7 @@ if [[ "${BENCH_SERVICE:-0}" == "1" ]]; then
   # shellcheck disable=SC2086  # BENCH_SERVICE_ARGS is intentionally split
   "$bin" --jobs 8000 --tenants 12 --workers 4 --mode closed \
          --out "$out" ${BENCH_SERVICE_ARGS:-}
+  stamp_metadata "$out"
   ran=$((ran + 1))
   if [[ -n "$prev" ]]; then
     echo "== delta vs $(basename "$prev") (regression threshold ${REGRESSION_PCT}%)"
@@ -95,12 +132,20 @@ for name in "${GBENCH_BINARIES[@]}"; do
          --benchmark_format=console \
          --benchmark_out_format=json \
          --benchmark_out="$out"
+  stamp_metadata "$out"
   ran=$((ran + 1))
   if [[ -n "$prev" ]]; then
     echo "== delta vs $(basename "$prev") (regression threshold ${REGRESSION_PCT}%)"
+    # BENCH_REPROBE=1: flagged rows get an automatic 5-repetition re-run
+    # straight from the binary (google-benchmark binaries only — the
+    # service driver has no per-benchmark filter).
+    reprobe_args=()
+    if [[ "$REPROBE" == "1" ]]; then
+      reprobe_args=(--reprobe-flagged "$bin")
+    fi
     rc=0
     python3 "$SCRIPT_DIR/compare_benches.py" "$prev" "$out" \
-      --threshold "$REGRESSION_PCT" || rc=$?
+      --threshold "$REGRESSION_PCT" "${reprobe_args[@]}" || rc=$?
     if [[ "$rc" -eq 1 ]]; then
       # Genuine regression verdict (count printed by the tool).
       if [[ "$FAIL_ON_REGRESSION" == "1" ]]; then

@@ -86,13 +86,14 @@ DefectiveResult precolor_message_passing(const Graph& g,
                                          RoundLedger* ledger,
                                          int num_threads, NetworkPool* pool,
                                          CancelToken* cancel,
-                                         SlotFormat slot_format) {
+                                         SlotFormat slot_format,
+                                         PlaneMode plane_mode) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = static_cast<int>(p.q * p.q);
   res.colors.resize(static_cast<std::size_t>(n));
   ScopedNetwork net_scope(pool, g, ledger, "defective_precolor", num_threads,
-                          cancel, SlotPlan{slot_format, 1});
+                          cancel, SlotPlan{slot_format, 1, plane_mode});
   SyncNetwork& net = *net_scope;
   // The one round: every node announces its input color on every edge.
   net.round_fast([&](NodeId v, const auto&, auto&& out) {
@@ -100,12 +101,19 @@ DefectiveResult precolor_message_passing(const Graph& g,
       m.assign({input[static_cast<std::size_t>(v)]});
     }
   });
-  // Receiving and the polynomial evaluation are local, hence free.
-  net.drain_fast([&](NodeId v, const auto& in) {
+  // Receiving and the polynomial evaluation are local, hence free. What the
+  // announce round delivered on edge (u, v) is input[u] verbatim, so the
+  // consume step reads the input vector directly instead of draining the
+  // delivered plane — value-identical, and drain-free makes the solver
+  // eligible for the single message plane.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
     res.colors[static_cast<std::size_t>(v)] = precolor_choose(
-        input[static_cast<std::size_t>(v)], p.q, p.d, in.size(),
-        [&](std::size_t i) { return in[i].at(0); });
-  });
+        input[static_cast<std::size_t>(v)], p.q, p.d, nb.size(),
+        [&](std::size_t i) {
+          return input[static_cast<std::size_t>(nb[i].neighbor)];
+        });
+  }
   res.rounds = net.rounds_executed();
   res.max_message_bits = net.audit().max_bits();
   res.messages = net.audit().messages_sent();
@@ -134,7 +142,8 @@ DefectiveResult refine_message_passing(const Graph& g,
                                        RoundLedger* ledger, int num_threads,
                                        bool dirty_announce, NetworkPool* pool,
                                        CancelToken* cancel,
-                                       SlotFormat slot_format) {
+                                       SlotFormat slot_format,
+                                       PlaneMode plane_mode) {
   const NodeId n = g.num_nodes();
   DefectiveResult res;
   res.palette = num_colors;
@@ -145,7 +154,7 @@ DefectiveResult refine_message_passing(const Graph& g,
   }
 
   ScopedNetwork net_scope(pool, g, ledger, "defective_refine", num_threads,
-                          cancel, SlotPlan{slot_format, 1});
+                          cancel, SlotPlan{slot_format, 1, plane_mode});
   SyncNetwork& net = *net_scope;
 
   // Per-node neighbor-color cache, laid out on the network's own slot plane
@@ -158,17 +167,9 @@ DefectiveResult refine_message_passing(const Graph& g,
   // once at the start, so the caches begin fully populated).
   std::vector<char> dirty(static_cast<std::size_t>(n), 1);
 
-  // Consume the intent broadcasts of the previous round: an intender moves
-  // to its min-conflict color unless a smaller-id neighbor also intended
-  // (only same-class nodes intend in any given round, so message presence
-  // is the whole arbitration input).
-  auto apply_pending = [&](NodeId v, const auto& in) {
-    if (intent[static_cast<std::size_t>(v)] == 0) return;
-    intent[static_cast<std::size_t>(v)] = 0;
+  // Move v to its min-conflict color against the neighbor-color cache.
+  auto move_to_least_conflict = [&](NodeId v) {
     const auto nb = g.neighbors(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      if (nb[i].neighbor < v && !in[i].empty()) return;  // lost priority
-    }
     std::vector<int> count(static_cast<std::size_t>(num_colors), 0);
     for (std::size_t i = 0; i < nb.size(); ++i) {
       ++count[static_cast<std::size_t>(nbr_color[net.slot(v, i)])];
@@ -184,6 +185,20 @@ DefectiveResult refine_message_passing(const Graph& g,
       res.colors[static_cast<std::size_t>(v)] = best;
       dirty[static_cast<std::size_t>(v)] = 1;
     }
+  };
+
+  // Consume the intent broadcasts of the previous round: an intender moves
+  // to its min-conflict color unless a smaller-id neighbor also intended
+  // (only same-class nodes intend in any given round, so message presence
+  // is the whole arbitration input).
+  auto apply_pending = [&](NodeId v, const auto& in) {
+    if (intent[static_cast<std::size_t>(v)] == 0) return;
+    intent[static_cast<std::size_t>(v)] = 0;
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i].neighbor < v && !in[i].empty()) return;  // lost priority
+    }
+    move_to_least_conflict(v);
   };
 
   res.converged = false;
@@ -226,8 +241,25 @@ DefectiveResult refine_message_passing(const Graph& g,
     if (!any_intent) res.converged = true;
   }
   // The last class-step's arbitration is still in flight; consuming it is
-  // receive-side computation and costs no round.
-  net.drain_fast([&](NodeId v, const auto& in) { apply_pending(v, in); });
+  // receive-side computation and costs no round. Message presence on edge
+  // (u, v) in the final intent round is exactly intent[u] — only the final
+  // class-step's over-threshold members sent, and each set its own flag —
+  // so the arbitration reads the intact intent flags directly instead of
+  // draining the delivered plane: value-identical to the drained form, and
+  // drain-free makes the solver eligible for the single message plane. The
+  // flags are cleared only after every node has arbitrated, because each
+  // decision reads the neighbors' flags.
+  for (NodeId v = 0; v < n; ++v) {
+    if (intent[static_cast<std::size_t>(v)] == 0) continue;
+    const auto nb = g.neighbors(v);
+    bool lost = false;
+    for (std::size_t i = 0; i < nb.size() && !lost; ++i) {
+      lost = nb[i].neighbor < v &&
+             intent[static_cast<std::size_t>(nb[i].neighbor)] != 0;
+    }
+    if (!lost) move_to_least_conflict(v);
+  }
+  std::fill(intent.begin(), intent.end(), 0);
 
   res.rounds = net.rounds_executed();
   res.max_message_bits = net.audit().max_bits();
@@ -242,7 +274,8 @@ DefectiveResult defective_precolor(const Graph& g,
                                    int input_palette, int target_defect,
                                    RoundLedger* ledger, int num_threads,
                                    NetworkPool* pool, CancelToken* cancel,
-                                   SlotFormat slot_format) {
+                                   SlotFormat slot_format,
+                                   PlaneMode plane_mode) {
   DEC_REQUIRE(target_defect >= 1, "target defect must be >= 1");
   DEC_REQUIRE(is_proper_vertex_coloring(g, input), "input must be proper");
   for (const Color c : input) {
@@ -254,7 +287,7 @@ DefectiveResult defective_precolor(const Graph& g,
 
   DefectiveResult res =
       precolor_message_passing(g, input, p, ledger, num_threads, pool, cancel,
-                               slot_format);
+                               slot_format, plane_mode);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   DEC_CHECK(res.max_defect <= target_defect,
             "defective precolor exceeded its defect target");
@@ -267,7 +300,8 @@ DefectiveResult defective_refine(const Graph& g,
                                  int move_threshold, int max_sweeps,
                                  RoundLedger* ledger, int num_threads,
                                  bool dirty_announce, NetworkPool* pool,
-                                 CancelToken* cancel, SlotFormat slot_format) {
+                                 CancelToken* cancel, SlotFormat slot_format,
+                                 PlaneMode plane_mode) {
   DEC_REQUIRE(num_colors >= 2, "refine needs at least two colors");
   DEC_REQUIRE(move_threshold >= (g.max_degree() / num_colors) + 1,
               "threshold too tight: moving nodes could never settle");
@@ -280,7 +314,8 @@ DefectiveResult defective_refine(const Graph& g,
   DefectiveResult res =
       refine_message_passing(g, classes, num_classes, num_colors,
                              move_threshold, max_sweeps, ledger, num_threads,
-                             dirty_announce, pool, cancel, slot_format);
+                             dirty_announce, pool, cancel, slot_format,
+                             plane_mode);
   res.max_defect = max_of(vertex_defects(g, res.colors));
   if (!res.converged) {
     // The cap was generous; reaching it without meeting the contract means a
@@ -296,7 +331,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                      int input_palette, double eps,
                                      RoundLedger* ledger, int num_threads,
                                      NetworkPool* pool, CancelToken* cancel,
-                                     SlotFormat slot_format) {
+                                     SlotFormat slot_format,
+                                     PlaneMode plane_mode) {
   DEC_REQUIRE(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
   const int delta = g.max_degree();
   const int target = static_cast<int>(eps * delta) + delta / 2;
@@ -328,7 +364,7 @@ DefectiveResult defective_4_coloring(const Graph& g,
   const int pre_defect = std::max(1, static_cast<int>(eps * delta / 2.0));
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
                                            ledger, num_threads, pool, cancel,
-                                           slot_format);
+                                           slot_format, plane_mode);
 
   const int margin = std::max(1, static_cast<int>(eps * delta / 4.0));
   // At small Δ the flat +margin +pre_defect headroom can exceed the Lemma
@@ -342,7 +378,7 @@ DefectiveResult defective_4_coloring(const Graph& g,
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, 4, threshold, max_sweeps,
                        ledger, num_threads, /*dirty_announce=*/true, pool,
-                       cancel, slot_format);
+                       cancel, slot_format, plane_mode);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   ref.messages += pre.messages;
@@ -358,7 +394,8 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          RoundLedger* ledger,
                                          int num_threads, NetworkPool* pool,
                                          CancelToken* cancel,
-                                         SlotFormat slot_format) {
+                                         SlotFormat slot_format,
+                                         PlaneMode plane_mode) {
   const int delta = g.max_degree();
   DEC_REQUIRE(target_defect >= delta / num_colors + 1,
               "target defect below the pigeonhole floor");
@@ -373,13 +410,13 @@ DefectiveResult defective_split_coloring(const Graph& g,
   const int pre_defect = std::max(1, target_defect / 2);
   DefectiveResult pre = defective_precolor(g, input, input_palette, pre_defect,
                                            ledger, num_threads, pool, cancel,
-                                           slot_format);
+                                           slot_format, plane_mode);
   const int threshold = std::max(delta / num_colors + 1,
                                  target_defect - pre_defect);
   DefectiveResult ref =
       defective_refine(g, pre.colors, pre.palette, num_colors, threshold, 256,
                        ledger, num_threads, /*dirty_announce=*/true, pool,
-                       cancel, slot_format);
+                       cancel, slot_format, plane_mode);
   ref.rounds += pre.rounds;
   ref.max_message_bits = std::max(ref.max_message_bits, pre.max_message_bits);
   ref.messages += pre.messages;

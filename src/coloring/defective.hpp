@@ -63,7 +63,11 @@ struct DefectiveResult {
 /// q² where q = next_prime(max(2, ceil(Δ·d / target_defect))).
 /// All defective stages announce exactly one field per edge per round
 /// (a color or an intent bit), so they default to the 16 B narrow slot
-/// plane (declared width 1) — bit-identical to SlotFormat::kWide.
+/// plane (declared width 1) — bit-identical to SlotFormat::kWide. Both
+/// stages are drain-free (every round reads its whole inbox before writing;
+/// the final consume steps run on local state, not on a drain), so they
+/// default to the single message plane (PlaneMode::kSingle) — bit-identical
+/// to kDouble with half the plane memory.
 DefectiveResult defective_precolor(const Graph& g,
                                    const std::vector<Color>& input,
                                    int input_palette, int target_defect,
@@ -71,7 +75,8 @@ DefectiveResult defective_precolor(const Graph& g,
                                    int num_threads = 1,
                                    NetworkPool* pool = nullptr,
                                    CancelToken* cancel = nullptr,
-                                   SlotFormat slot_format = SlotFormat::kNarrow);
+                                   SlotFormat slot_format = SlotFormat::kNarrow,
+                                   PlaneMode plane_mode = PlaneMode::kSingle);
 
 /// Threshold local search over the classes of `classes` (any coloring with
 /// values in [0, num_classes); independence not required). Produces a
@@ -89,7 +94,8 @@ DefectiveResult defective_refine(const Graph& g,
                                  bool dirty_announce = true,
                                  NetworkPool* pool = nullptr,
                                  CancelToken* cancel = nullptr,
-                                 SlotFormat slot_format = SlotFormat::kNarrow);
+                                 SlotFormat slot_format = SlotFormat::kNarrow,
+                                 PlaneMode plane_mode = PlaneMode::kSingle);
 
 /// Lemma 6.2: (εΔ + ⌊Δ/2⌋)-defective 4-coloring from a proper O(Δ²)-coloring.
 DefectiveResult defective_4_coloring(const Graph& g,
@@ -99,7 +105,8 @@ DefectiveResult defective_4_coloring(const Graph& g,
                                      int num_threads = 1,
                                      NetworkPool* pool = nullptr,
                                      CancelToken* cancel = nullptr,
-                                     SlotFormat slot_format = SlotFormat::kNarrow);
+                                     SlotFormat slot_format = SlotFormat::kNarrow,
+                                     PlaneMode plane_mode = PlaneMode::kSingle);
 
 /// General split: num_colors-coloring with defect ≤ target_defect, where
 /// target_defect must be ≥ ceil(Δ/num_colors) + 1. Used by Theorem D.4's
@@ -112,6 +119,7 @@ DefectiveResult defective_split_coloring(const Graph& g,
                                          int num_threads = 1,
                                          NetworkPool* pool = nullptr,
                                          CancelToken* cancel = nullptr,
-                                         SlotFormat slot_format = SlotFormat::kNarrow);
+                                         SlotFormat slot_format = SlotFormat::kNarrow,
+                                         PlaneMode plane_mode = PlaneMode::kSingle);
 
 }  // namespace dec

@@ -55,7 +55,8 @@ std::int64_t eval_digit_poly(std::int64_t color, std::int64_t q, int d,
 LinialResult linial_color(const Graph& g, RoundLedger* ledger,
                           std::vector<Color> initial, std::int64_t id_space,
                           int num_threads, NetworkPool* pool,
-                          CancelToken* cancel, SlotFormat slot_format) {
+                          CancelToken* cancel, SlotFormat slot_format,
+                          PlaneMode plane_mode) {
   const NodeId n = g.num_nodes();
   if (initial.empty()) {
     initial.resize(static_cast<std::size_t>(n));
@@ -84,9 +85,11 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
   }
 
   // ScopedNetwork resolves the 0-means-hardware convention itself. Every
-  // Linial message is exactly one color, so the declared slot width is 1.
+  // Linial message is exactly one color, so the declared slot width is 1;
+  // the solver is drain-free (reads its whole inbox before writing, never
+  // drains), so it runs single-plane by default.
   ScopedNetwork net_scope(pool, g, ledger, "linial", num_threads, cancel,
-                          SlotPlan{slot_format, 1});
+                          SlotPlan{slot_format, 1, plane_mode});
   SyncNetwork& net = *net_scope;
   std::int64_t m = id_space;
 
@@ -161,10 +164,11 @@ LinialResult linial_color(const Graph& g, RoundLedger* ledger,
 
 LinialResult linial_edge_color(const Graph& g, RoundLedger* ledger,
                                int num_threads, NetworkPool* pool,
-                               CancelToken* cancel, SlotFormat slot_format) {
+                               CancelToken* cancel, SlotFormat slot_format,
+                               PlaneMode plane_mode) {
   const Graph lg = line_graph(g);
   LinialResult res = linial_color(lg, ledger, {}, 0, num_threads, pool, cancel,
-                                  slot_format);
+                                  slot_format, plane_mode);
   DEC_CHECK(is_proper_edge_coloring(g, res.colors),
             "line-graph coloring is not a proper edge coloring");
   return res;

@@ -18,7 +18,9 @@ std::shared_ptr<const DiTopology> require_topo(
 // slot carries a length prefix plus payload per lane.
 SlotPlan support_plan(const DiTopology& topo, SlotPlan arc_plan) {
   if (arc_plan.format == SlotFormat::kWide && arc_plan.max_fields == 0) {
-    return {};  // unchecked wide, today's behavior
+    // Unchecked wide, today's behavior. The plane mode still forwards — it
+    // is structural for the support network regardless of width checking.
+    return {SlotFormat::kWide, 0, arc_plan.mode};
   }
   const int w = arc_plan.max_fields;
   const int lanes = static_cast<int>(topo.max_lane_count());
@@ -30,7 +32,7 @@ SlotPlan support_plan(const DiTopology& topo, SlotPlan arc_plan) {
                 "slot's 255-field limit — use a wide arc plan for this "
                 "digraph's lane multiplicity");
   }
-  return {arc_plan.format, support_w};
+  return {arc_plan.format, support_w, arc_plan.mode};
 }
 
 }  // namespace
@@ -95,6 +97,8 @@ void DiNetwork::rebind(const Digraph& dg,
   DEC_REQUIRE(topo->matches(dg), "topology does not fit the digraph");
   DEC_REQUIRE(arc_plan.format == net_.slot_format(),
               "rebind cannot change a network's slot format");
+  DEC_REQUIRE(arc_plan.mode == net_.plane_mode(),
+              "rebind cannot change a network's plane mode");
   dg_ = &dg;
   arc_declared_ = arc_plan.max_fields;
   const SlotPlan sp = support_plan(*topo, arc_plan);

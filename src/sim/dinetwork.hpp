@@ -219,6 +219,12 @@ class DiNetwork {
 
   /// Slot-plane format of the support network (structural — pool identity).
   SlotFormat slot_format() const { return net_.slot_format(); }
+  /// Plane mode of the support network (structural — pool identity). On
+  /// kSingle, drain_fast throws: the mode is forwarded verbatim into the
+  /// support SyncNetwork, which owns the ban. round_fast arc programs are
+  /// single-plane-safe by construction — every inbox read happens in the
+  /// node callback, before pack() writes the support outbox.
+  PlaneMode plane_mode() const { return net_.plane_mode(); }
   /// Declared per-arc max field count of the current lease (0 = unchecked).
   int declared_arc_fields() const { return arc_declared_; }
 

@@ -135,6 +135,23 @@ enum class SlotFormat : std::uint8_t {
   kNarrow,  // 16 B NarrowSlot: one inline int64, slab-indexed overflow
 };
 
+/// Plane mode of a SyncNetwork's message storage. Like SlotFormat it is
+/// structural: chosen at construction, immutable for the life of the run
+/// state, and part of the pool's park/adopt identity. kDouble keeps the
+/// classic swapped inbox/outbox plane pair. kSingle allocates ONE plane per
+/// slot format and delivers by alternating slot ownership with round parity
+/// (docs/ARCHITECTURE.md "Plane modes"): in even rounds every node reads and
+/// writes its own CSR slots, in odd rounds it reads and writes the peer
+/// slots through the precomputed permutation, so each slot has exactly one
+/// accessing node per round and last round's write is exactly where this
+/// round's read looks. Drain (`drain_fast`/`drain_as`) re-reads delivered
+/// messages after the round and is therefore impossible on a single plane —
+/// it throws. Only drain-free protocols may opt in.
+enum class PlaneMode : std::uint8_t {
+  kDouble,  // two planes, swap at the barrier (the general default)
+  kSingle,  // one plane, parity-alternating slot ownership; drain banned
+};
+
 /// Per-lease slot plan: the plane format plus the protocol's declared
 /// maximum per-message field count. Narrow planes require max_fields in
 /// [1, 255] (it sizes the slab spill blocks); wide planes accept 0
@@ -143,6 +160,7 @@ enum class SlotFormat : std::uint8_t {
 struct SlotPlan {
   SlotFormat format = SlotFormat::kWide;
   int max_fields = 0;
+  PlaneMode mode = PlaneMode::kDouble;
 };
 
 /// Compact 16 B slot for single-field protocols (docs/ARCHITECTURE.md "Slot

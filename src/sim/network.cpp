@@ -44,6 +44,7 @@ SyncNetwork::SyncNetwork(const Graph& g,
   DEC_REQUIRE(topo_->matches(g), "topology does not fit the graph");
   validate_plan(plan);
   format_ = plan.format;
+  mode_ = plan.mode;
   declared_fields_ = plan.max_fields;
   bind_ledger(ledger, std::move(component));
   bind_plan();
@@ -68,24 +69,22 @@ void SyncNetwork::bind_ledger(RoundLedger* ledger, std::string component) {
 void SyncNetwork::bind_plan() {
   offsets_ = topo_->offsets().data();
   peer_slot_ = topo_->peer_slot().data();
+  iota_ = topo_->iota_map().data();
   shard_begin_ = topo_->shard_begin().data();
 
   // Only the active format's plane pair is sized; the other pair stays at
   // whatever it was (capacity 0 for the life of the run state, since the
-  // format never changes).
+  // format never changes). A single-plane state sizes only the `a` plane —
+  // that IS the memory win — and in_/out_ both point at it (point_planes).
   const std::size_t slots = topo_->num_slots();
   if (format_ == SlotFormat::kWide) {
     buf_a_.resize(slots);
-    buf_b_.resize(slots);
-    out_ = buf_a_.data();
-    in_ = buf_b_.data();
+    if (mode_ == PlaneMode::kDouble) buf_b_.resize(slots);
   } else {
     nbuf_a_.resize(slots);
-    nbuf_b_.resize(slots);
-    nout_ = nbuf_a_.data();
-    nin_ = nbuf_b_.data();
+    if (mode_ == PlaneMode::kDouble) nbuf_b_.resize(slots);
   }
-  out_is_a_ = true;
+  point_planes();
 
   const int num_shards = topo_->num_shards();
   if (static_cast<int>(shards_.size()) != num_shards) {
@@ -115,13 +114,31 @@ void SyncNetwork::bind_plan() {
           shard_slot_begin_[static_cast<std::size_t>(s) + 1];
       for (std::size_t slot = lo; slot < hi; ++slot) {
         buf_a_[slot].bind_slab(&sh.slab_a);
-        buf_b_[slot].bind_slab(&sh.slab_b);
+        if (mode_ == PlaneMode::kDouble) buf_b_[slot].bind_slab(&sh.slab_b);
       }
     }
   }
   // Narrow slots carry slab indices, not bindings; the outbox hands each
-  // write the owning shard's arena directly.
+  // write the owning shard's arena directly. (Single-plane wide outboxes
+  // re-bind per first touch — see Outbox — so the static binding above is
+  // only the even-round direct-addressed case.)
   reset();
+}
+
+// Restore the canonical plane orientation: out_ is the `a` plane, parity
+// even. In double mode this undoes any odd number of swaps a previous run
+// left behind (the planes are symmetric, but the slab-parity bookkeeping is
+// not once a single flag tracks both); in single mode both pointers share
+// the one plane and the flag simply restarts the parity at even.
+void SyncNetwork::point_planes() {
+  if (format_ == SlotFormat::kWide) {
+    out_ = buf_a_.data();
+    in_ = mode_ == PlaneMode::kDouble ? buf_b_.data() : buf_a_.data();
+  } else {
+    nout_ = nbuf_a_.data();
+    nin_ = mode_ == PlaneMode::kDouble ? nbuf_b_.data() : nbuf_a_.data();
+  }
+  out_is_a_ = true;
 }
 
 void SyncNetwork::reset() {
@@ -132,6 +149,8 @@ void SyncNetwork::reset() {
   ++epoch_;
   rounds_ = 0;
   audit_.reset();
+  poisoned_ = false;
+  point_planes();  // restart at parity even; pooled runs match fresh ones
   for (Shard& sh : shards_) {
     sh.slab_a.reset();
     sh.slab_b.reset();
@@ -165,10 +184,13 @@ void SyncNetwork::rebind(const Graph& g,
                          RoundLedger* ledger, std::string component,
                          SlotPlan plan) {
   validate_plan(plan);
-  // The format is structural — pooled leases filter by it before adopting a
-  // parked run state, so a mismatch here is a pool bug, not a user error.
+  // Format and plane mode are structural — pooled leases filter by both
+  // before adopting a parked run state, so a mismatch here is a pool bug,
+  // not a user error.
   DEC_REQUIRE(plan.format == format_,
               "rebind cannot change a network's slot format");
+  DEC_REQUIRE(plan.mode == mode_,
+              "rebind cannot change a network's plane mode");
   declared_fields_ = plan.max_fields;
   rebind(g, std::move(topo), ledger, std::move(component));
 }
@@ -180,6 +202,13 @@ void SyncNetwork::begin_round() {
   // round k, inject latency, trip the job's own token mid-phase).
   if (cancel_ != nullptr) cancel_->check();
   DEC_FAULT_POINT_CTX("network.round", cancel_);
+  if (poisoned_) {
+    DEC_REQUIRE(false,
+                "round on a poisoned single-plane network: component '" +
+                    component_ + "' aborted round " + std::to_string(rounds_) +
+                    " after writing slots, overwriting last round's deliveries "
+                    "in place — reset() (or release the lease) before reuse");
+  }
   ++epoch_;
   // The buffer about to be written was the inbox two rounds ago; its spill
   // arenas can be rewound now that that round's reads are long done. Stale
@@ -197,7 +226,9 @@ void SyncNetwork::begin_round() {
 // per-shard audit/touched state, and rewind the epoch. The inbox buffer is
 // untouched, so the previous round's delivery is still readable.
 void SyncNetwork::abort_round() {
+  bool touched_any = false;
   for (Shard& sh : shards_) {
+    touched_any = touched_any || !sh.touched.empty();
     if (format_ == SlotFormat::kWide) {
       for (const std::uint32_t s : sh.touched) {
         out_[s].reset_storage();
@@ -212,6 +243,13 @@ void SyncNetwork::abort_round() {
     sh.audit.reset();
   }
   --epoch_;
+  // On a single plane the slots just un-stamped WERE last round's delivered
+  // messages (this round's writes land in place); they are gone, so the
+  // "exact post-last-round state" contract is unrecoverable. Poison instead
+  // of failing silently: the next begin_round throws until reset(). Aborts
+  // that never touched a slot (cancellation and fault points fire at the
+  // barrier, before any write) leave the state exact and do not poison.
+  if (mode_ == PlaneMode::kSingle && touched_any) poisoned_ = true;
 }
 
 void SyncNetwork::finish_round() {
@@ -249,6 +287,30 @@ void SyncNetwork::throw_width_violation(NodeId v, std::size_t slot,
       std::to_string(declared) +
       " — raise the declared width (or use a wide slot plan); the substrate "
       "never truncates";
+  DEC_CHECK(false, msg);
+  std::abort();  // unreachable: DEC_CHECK(false, ...) always throws
+}
+
+void SyncNetwork::throw_single_plane_drain() const {
+  const std::string msg =
+      "drain on a single-plane lease: component '" + component_ +
+      "' after round " + std::to_string(rounds_) +
+      " — a single plane overwrites last round's deliveries in place, so "
+      "drain_fast/drain_as has nothing stable to re-read; pipelined "
+      "protocols that re-read deliveries need PlaneMode::kDouble";
+  DEC_REQUIRE(false, msg);
+  std::abort();  // unreachable: DEC_REQUIRE(false, ...) always throws
+}
+
+void SyncNetwork::throw_single_plane_hazard(NodeId v,
+                                            std::size_t entry) const {
+  const std::string msg =
+      "single-plane read-after-write hazard: component '" + component_ +
+      "' round " + std::to_string(rounds_) + ", node " + std::to_string(v) +
+      " read inbox entry " + std::to_string(entry) +
+      " after writing the outbox slot that shares its storage — single-plane "
+      "node programs must read every inbox entry they need before writing "
+      "the outbox (or use PlaneMode::kDouble)";
   DEC_CHECK(false, msg);
   std::abort();  // unreachable: DEC_CHECK(false, ...) always throws
 }

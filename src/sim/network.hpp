@@ -23,7 +23,10 @@
 // The round hot path is allocation-free: messages are small-buffer-optimized
 // (spill to a per-shard MessageSlab), slot validity is epoch-tagged (no
 // clear sweeps), and delivery is a buffer-pointer swap through the peer
-// permutation. Serial and sharded execution are bit-identical.
+// permutation — or, for drain-free leases on PlaneMode::kSingle, a single
+// plane whose slot ownership alternates with round parity (no swap, half
+// the plane memory; see docs/ARCHITECTURE.md "Plane modes"). Serial and
+// sharded execution are bit-identical in both modes.
 #pragma once
 
 #include <functional>
@@ -44,19 +47,41 @@
 
 namespace dec {
 
+class SyncNetwork;
+
+/// Epoch value that can never tag a slot mid-round (4G rounds away from any
+/// real epoch): disables the single-plane read-after-write hazard check on
+/// double-plane boxes without costing a mode branch on the hot path.
+inline constexpr std::uint32_t kNoHazardEpoch = 0xffffffffu;
+
 /// Read-only view of one node's incoming messages for the current round.
 /// Entry i corresponds to g.neighbors(v)[i]; slots whose epoch tag is stale
 /// (neighbor sent nothing) read as the canonical empty message.
-class Inbox {
+///
+/// Addressing is uniform — entry i reads buf_[map_[i]], with the round's
+/// base slot folded into buf_ at construction. Peer-delivered rounds
+/// (double planes, odd single-plane rounds) pass the plane base and the
+/// node's peer-permutation slice; direct rounds (even single-plane rounds)
+/// pass the node's first slot and the topology's tiny iota map. One L1-hot
+/// map load instead of a plane-mode branch keeps the read path free of mode
+/// tests in type-erased node programs, whose one compiled body serves every
+/// plane mode. Fully-inlined programs (generic round_fast lambdas) instead
+/// get the kDirect = true instantiation on direct rounds, whose accessor is
+/// the affine buf_[i] — no map load at all; the round engine picks per
+/// plane mode and program signature (see run_shard_impl). A slot tagged
+/// with the WRITE epoch on a single plane means the program wrote this
+/// entry's outbox slot before reading the inbox entry — that
+/// read-after-write hazard throws instead of returning the node's own
+/// message; on double planes hazard_ is kNoHazardEpoch and the check is one
+/// never-taken compare on the stale path only.
+template <bool kDirect>
+class BasicInbox {
  public:
-  Inbox(const Message* buf, const std::uint32_t* peer, std::size_t n,
-        std::uint32_t epoch)
-      : buf_(buf), peer_(peer), n_(n), epoch_(epoch) {}
+  BasicInbox(const Message* buf, const std::uint32_t* map, std::size_t n,
+             std::uint32_t epoch)
+      : buf_(buf), map_(map), n_(n), epoch_(epoch) {}
 
-  const Message& operator[](std::size_t i) const {
-    const Message& m = buf_[peer_[i]];
-    return m.epoch() == epoch_ ? m : kEmptyMessage;
-  }
+  const Message& operator[](std::size_t i) const;  // defined after SyncNetwork
 
   std::size_t size() const { return n_; }
 
@@ -68,7 +93,7 @@ class Inbox {
     using pointer = const Message*;
     using difference_type = std::ptrdiff_t;
 
-    const_iterator(const Inbox* box, std::size_t i) : box_(box), i_(i) {}
+    const_iterator(const BasicInbox* box, std::size_t i) : box_(box), i_(i) {}
     reference operator*() const { return (*box_)[i_]; }
     pointer operator->() const { return &(*box_)[i_]; }
     const_iterator& operator++() { ++i_; return *this; }
@@ -76,7 +101,7 @@ class Inbox {
     bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
 
    private:
-    const Inbox* box_;
+    const BasicInbox* box_;
     std::size_t i_;
   };
 
@@ -84,27 +109,59 @@ class Inbox {
   const_iterator end() const { return {this, n_}; }
 
  private:
-  const Message* buf_;          // global inbox slot base
-  const std::uint32_t* peer_;   // this node's slice of the peer permutation
+  friend class SyncNetwork;
+  BasicInbox(const Message* buf, const std::uint32_t* map, std::size_t n,
+             std::uint32_t epoch, std::uint32_t hazard, const SyncNetwork* net,
+             NodeId v)
+      : buf_(buf), map_(map), n_(n), epoch_(epoch), hazard_(hazard),
+        net_(net), v_(v) {}
+
+  const Message* buf_;        // plane base + round base slot
+  const std::uint32_t* map_;  // peer permutation slice / iota map
   std::size_t n_;
   std::uint32_t epoch_;
+  std::uint32_t hazard_ = kNoHazardEpoch;  // write epoch on a single plane
+  const SyncNetwork* net_ = nullptr;       // hazard error context
+  NodeId v_ = 0;
 };
+
+/// The erased-program inbox: data-driven map addressing, one compiled body
+/// for every plane mode (StepFn programs and any lambda that names the type).
+using Inbox = BasicInbox<false>;
+/// Affine instantiation handed to fully-inlined generic programs on direct
+/// rounds.
+using DirectInbox = BasicInbox<true>;
 
 /// Write view of one node's outgoing slots for the current round. Slots are
 /// lazily reset on first touch (epoch-tag check), so untouched slots cost
 /// nothing and there is no per-round clear sweep.
-class Outbox {
+///
+/// Addressing mirrors Inbox: entry i is buf_[map_[i]] with the round's base
+/// slot folded into buf_ (peer permutation off the plane base in a single
+/// plane's odd rounds, the iota map off the node's first slot otherwise);
+/// base_ is kept only to reconstruct the global index for the touched list
+/// — the first-touch path, never the per-access one. The first
+/// touch also binds the slot's spill slab to the EXECUTING shard's write
+/// arena: on double planes that is the slab the slot is statically bound to
+/// anyway (one redundant store to an already-dirty line, no mode branch),
+/// while on a single plane it is load-bearing — odd rounds write slots in
+/// other shards' ranges, even rounds reclaim slots an odd round bound
+/// elsewhere, and two shards must never allocate from one arena
+/// concurrently. The kDirect = true instantiation (generic fully-inlined
+/// programs on direct rounds) skips the map load: its accessor is the
+/// affine buf_[i] of the pre-single-plane engine.
+template <bool kDirect>
+class BasicOutbox {
  public:
-  Outbox(Message* buf, std::size_t n, std::uint32_t epoch, std::uint32_t base,
-         std::vector<std::uint32_t>* touched)
-      : buf_(buf), n_(n), epoch_(epoch), base_(base), touched_(touched) {}
-
   Message& operator[](std::size_t i) {
-    Message& m = buf_[i];
+    const std::uint32_t off =
+        kDirect ? static_cast<std::uint32_t>(i) : map_[i];
+    Message& m = buf_[off];
     if (m.epoch() != epoch_) {
+      m.bind_slab(slab_);
       m.reset_storage();  // storage may point into a since-reset slab
       m.set_epoch(epoch_);
-      touched_->push_back(base_ + static_cast<std::uint32_t>(i));
+      touched_->push_back(base_ + off);
     }
     return m;
   }
@@ -119,7 +176,7 @@ class Outbox {
     using pointer = Message*;
     using difference_type = std::ptrdiff_t;
 
-    iterator(Outbox* box, std::size_t i) : box_(box), i_(i) {}
+    iterator(BasicOutbox* box, std::size_t i) : box_(box), i_(i) {}
     reference operator*() const { return (*box_)[i_]; }
     pointer operator->() const { return &(*box_)[i_]; }
     iterator& operator++() { ++i_; return *this; }
@@ -127,7 +184,7 @@ class Outbox {
     bool operator!=(const iterator& o) const { return i_ != o.i_; }
 
    private:
-    Outbox* box_;
+    BasicOutbox* box_;
     std::size_t i_;
   };
 
@@ -135,14 +192,26 @@ class Outbox {
   iterator end() { return {this, n_}; }
 
  private:
-  Message* buf_;  // this node's first outbox slot
+  friend class SyncNetwork;
+  BasicOutbox(Message* buf, const std::uint32_t* map, std::size_t n,
+              std::uint32_t epoch, std::uint32_t base,
+              std::vector<std::uint32_t>* touched, MessageSlab* slab)
+      : buf_(buf), map_(map), n_(n), epoch_(epoch), base_(base),
+        touched_(touched), slab_(slab) {}
+
+  Message* buf_;              // plane base + round base slot
+  const std::uint32_t* map_;  // peer permutation slice / iota map
   std::size_t n_;
   std::uint32_t epoch_;
-  std::uint32_t base_;  // global slot index of buf_[0]
+  std::uint32_t base_;  // node's first slot (direct) / 0 (peer)
   std::vector<std::uint32_t>* touched_;
+  MessageSlab* slab_;  // executing shard's write-parity spill arena
 };
 
-class SyncNetwork;
+/// Erased-program outbox (map addressing; see BasicInbox aliases).
+using Outbox = BasicOutbox<false>;
+/// Affine instantiation for fully-inlined generic programs on direct rounds.
+using DirectOutbox = BasicOutbox<true>;
 
 /// By-value read view of one narrow slot's payload. Mirrors the read API of
 /// Message (empty/size/at/fields), so node programs written against the
@@ -198,14 +267,20 @@ class NarrowInbox {
  private:
   friend class SyncNetwork;
   NarrowInbox(const SyncNetwork* net, const NarrowSlot* buf,
-              const std::uint32_t* peer, std::size_t n, std::uint32_t epoch)
-      : net_(net), buf_(buf), peer_(peer), n_(n), epoch_(epoch) {}
+              const std::uint32_t* map, std::size_t n, std::uint32_t epoch,
+              std::uint32_t base = 0, std::uint32_t hazard = kNoHazardEpoch,
+              NodeId v = 0)
+      : net_(net), buf_(buf), map_(map), n_(n), epoch_(epoch), base_(base),
+        hazard_(hazard), v_(v) {}
 
-  const SyncNetwork* net_;  // resolves slab spills of wide payloads
-  const NarrowSlot* buf_;   // global inbox slot base (narrow plane)
-  const std::uint32_t* peer_;
+  const SyncNetwork* net_;    // resolves slab spills of wide payloads
+  const NarrowSlot* buf_;     // plane base + round base slot
+  const std::uint32_t* map_;  // peer permutation slice / iota map
   std::size_t n_;
   std::uint32_t epoch_;
+  std::uint32_t base_ = 0;  // global-index reconstruction (spill path only)
+  std::uint32_t hazard_ = kNoHazardEpoch;  // write epoch on a single plane
+  NodeId v_ = 0;
 };
 
 /// Write proxy for one narrow outbox slot (returned BY VALUE by
@@ -244,13 +319,14 @@ class NarrowRef {
 class NarrowOutbox {
  public:
   NarrowRef operator[](std::size_t i) {
-    NarrowSlot& s = buf_[i];
+    const std::uint32_t off = map_[i];
+    NarrowSlot& s = buf_[off];
+    const std::uint32_t idx = base_ + off;  // global; NarrowRef error context
     if (s.epoch() != epoch_) {
       s.stamp(epoch_);
-      touched_->push_back(base_ + static_cast<std::uint32_t>(i));
+      touched_->push_back(idx);
     }
-    return NarrowRef{&s, slab_, net_, v_,
-                     base_ + static_cast<std::uint32_t>(i), declared_};
+    return NarrowRef{&s, slab_, net_, v_, idx, declared_};
   }
 
   std::size_t size() const { return n_; }
@@ -278,20 +354,21 @@ class NarrowOutbox {
 
  private:
   friend class SyncNetwork;
-  NarrowOutbox(NarrowSlot* buf, MessageSlab* slab, const SyncNetwork* net,
-               NodeId v, std::size_t n, std::uint32_t epoch,
-               std::uint32_t base, std::vector<std::uint32_t>* touched,
-               int declared)
-      : buf_(buf), slab_(slab), net_(net), v_(v), n_(n), epoch_(epoch),
-        base_(base), touched_(touched), declared_(declared) {}
+  NarrowOutbox(NarrowSlot* buf, const std::uint32_t* map, std::uint32_t base,
+               MessageSlab* slab, const SyncNetwork* net, NodeId v,
+               std::size_t n, std::uint32_t epoch,
+               std::vector<std::uint32_t>* touched, int declared)
+      : buf_(buf), map_(map), base_(base), slab_(slab), net_(net), v_(v),
+        n_(n), epoch_(epoch), touched_(touched), declared_(declared) {}
 
-  NarrowSlot* buf_;  // this node's first outbox slot
+  NarrowSlot* buf_;           // plane base + round base slot
+  const std::uint32_t* map_;  // peer permutation slice / iota map
+  std::uint32_t base_;        // global-index reconstruction
   MessageSlab* slab_;
   const SyncNetwork* net_;
   NodeId v_;
   std::size_t n_;
   std::uint32_t epoch_;
-  std::uint32_t base_;
   std::vector<std::uint32_t>* touched_;
   int declared_;
 };
@@ -435,9 +512,13 @@ class SyncNetwork {
     DEC_REQUIRE(false, "narrow-only drain program on a wide-format network");
   }
 
-  /// drain_fast on a specific slot plane (see round_as).
+  /// drain_fast on a specific slot plane (see round_as). Throws on a
+  /// single-plane lease: the next round's writes land IN the delivered
+  /// slots, so there is no stable delivered plane to re-read — a pipelined
+  /// (drain-using) protocol needs PlaneMode::kDouble.
   template <class Slot, class F>
   void drain_as(F&& fn) {
+    if (mode_ == PlaneMode::kSingle) throw_single_plane_drain();
     auto visit = [&](int shard) {
       const NodeId vend = shard_begin_[static_cast<std::size_t>(shard) + 1];
       for (NodeId v = shard_begin_[static_cast<std::size_t>(shard)]; v < vend;
@@ -483,9 +564,10 @@ class SyncNetwork {
   }
   int num_threads() const { return topo_->num_shards(); }
 
-  /// Heap bytes of this run state: both message buffer planes (whichever
-  /// format is active — the other's vectors stay at capacity 0), per-shard
-  /// spill arenas and touched lists. Excludes the shared plan
+  /// Heap bytes of this run state: the message buffer planes that exist
+  /// (whichever format is active — the other's vectors stay at capacity 0;
+  /// a single-plane state never sizes its `b` plane, so it counts exactly
+  /// one), per-shard spill arenas and touched lists. Excludes the shared plan
   /// (NetworkTopology::memory_bytes) and the graph (Graph::memory_bytes) —
   /// the three together are the per-node budget docs/ARCHITECTURE.md
   /// "Graph storage & scale" tracks.
@@ -503,6 +585,10 @@ class SyncNetwork {
 
   /// Slot-plane format (structural, fixed at construction).
   SlotFormat slot_format() const { return format_; }
+  /// Plane mode (structural, fixed at construction): kDouble swaps a plane
+  /// pair at the barrier, kSingle owns one plane and alternates slot
+  /// ownership with round parity (drain banned).
+  PlaneMode plane_mode() const { return mode_; }
   /// Ledger component this run state charges (error-message context).
   const std::string& component() const { return component_; }
   /// Declared max per-message field count of the current lease (0 on a wide
@@ -517,7 +603,9 @@ class SyncNetwork {
   std::size_t peer_slot(std::size_t s) const { return peer_slot_[s]; }
 
  private:
-  friend class NarrowInbox;  // resolve_spill
+  template <bool kDirect>
+  friend class BasicInbox;   // throw_single_plane_hazard
+  friend class NarrowInbox;  // resolve_spill, throw_single_plane_hazard
   friend class NarrowRef;    // throw_width_violation
 
   void begin_round();
@@ -525,18 +613,30 @@ class SyncNetwork {
   void abort_round();
   void bind_ledger(RoundLedger* ledger, std::string component);
   void bind_plan();  // (re)size buffers/shards + slab bindings for topo_
+  void point_planes();  // in_/out_ (or nin_/nout_) per format_/mode_, parity a
 
   /// Actionable declared-width violation (satellite 2): names the protocol
   /// component, round, node, slot, and declared-vs-actual field count.
   [[noreturn]] void throw_width_violation(NodeId v, std::size_t slot,
                                           int declared, int actual) const;
 
+  /// Actionable drain-on-single-plane error (component, round context).
+  [[noreturn]] void throw_single_plane_drain() const;
+
+  /// Actionable single-plane read-after-write hazard: node v read inbox
+  /// entry i after writing the outbox slot that shares its storage.
+  [[noreturn]] void throw_single_plane_hazard(NodeId v, std::size_t entry) const;
+
   /// Resolve a narrow slot's spilled payload in the plane currently being
   /// READ. The owning shard comes from the slot index (shard_slot_begin_);
   /// the read plane's slab is the one begin_round did NOT rewind, so the
   /// previous round's blocks are intact both mid-round and during a drain.
+  /// On a single plane the writer of the previous round is the slot's peer
+  /// in even rounds (odd-round writes go through the permutation), so the
+  /// shard lookup first maps the slot to the writing side.
   const std::int64_t* resolve_spill(std::size_t slot,
                                     std::uint32_t spill) const {
+    if (mode_ == PlaneMode::kSingle && out_is_a_) slot = peer_slot_[slot];
     std::size_t s = 0;
     while (shard_slot_begin_[s + 1] <= slot) ++s;
     const Shard& sh = shards_[s];
@@ -544,27 +644,84 @@ class SyncNetwork {
     return slab.at_index(spill);
   }
 
+  // run_shard_impl's compile-time plane/parity variant: the double-plane
+  // instantiation constructs its boxes with literal kNoHazardEpoch / null
+  // rebind slab, so after inlining the single-plane tests in the box
+  // accessors constant-fold away and the loop compiles to exactly the
+  // two-plane hot path it was before plane modes existed.
+  enum class ShardMode { kDoublePlane, kSingleEven, kSingleOdd };
+
   template <class Slot, class F>
   void run_shard_as(F& fn, int shard) {
+    if (mode_ != PlaneMode::kSingle) {
+      run_shard_impl<Slot, ShardMode::kDoublePlane>(fn, shard);
+    } else if (out_is_a_) {
+      run_shard_impl<Slot, ShardMode::kSingleEven>(fn, shard);
+    } else {
+      run_shard_impl<Slot, ShardMode::kSingleOdd>(fn, shard);
+    }
+  }
+
+  template <class Slot, ShardMode kMode, class F>
+  void run_shard_impl(F& fn, int shard) {
     Shard& sh = shards_[static_cast<std::size_t>(shard)];
     const std::uint32_t write_epoch = epoch_;
     const std::uint32_t read_epoch = epoch_ - 1;
     const NodeId vend = shard_begin_[static_cast<std::size_t>(shard) + 1];
     constexpr bool kWidePlane = std::is_same_v<Slot, Message>;
     MessageSlab* write_slab = out_is_a_ ? &sh.slab_a : &sh.slab_b;
+    // Single-plane parity mapping (docs/ARCHITECTURE.md "Plane modes"): in
+    // even rounds (out_is_a_) a node reads AND writes its own CSR slots; in
+    // odd rounds both go through the peer permutation. Either way each slot
+    // has exactly one accessing node per round, and last round's write sits
+    // exactly where this round's read looks — delivery without a swap.
+    constexpr bool single = kMode != ShardMode::kDoublePlane;
+    constexpr bool in_direct = kMode == ShardMode::kSingleEven;
+    constexpr bool out_peer = kMode == ShardMode::kSingleOdd;
+    const std::uint32_t hazard = single ? write_epoch : kNoHazardEpoch;
     for (NodeId v = shard_begin_[static_cast<std::size_t>(shard)]; v < vend;
          ++v) {
       const std::size_t lo = offsets_[static_cast<std::size_t>(v)];
       const std::size_t deg = offsets_[static_cast<std::size_t>(v) + 1] - lo;
+      // Box addressing is always buf[map[i]] with the round's base slot
+      // folded into buf; the compile-time mode only picks each box's
+      // (base, map) pair — the node's first slot with the L1-resident iota
+      // map for direct rounds, base 0 with the node's peer-permutation
+      // slice for delivered ones — so the accessors carry no mode test, no
+      // per-access add, and the selects below fold per instantiation.
+      const std::uint32_t* in_map = in_direct ? iota_ : peer_slot_ + lo;
+      const std::size_t in_base = in_direct ? lo : 0;
+      const std::uint32_t* out_map = out_peer ? peer_slot_ + lo : iota_;
+      const std::size_t out_base = out_peer ? 0 : lo;
       if constexpr (kWidePlane) {
-        const Inbox in(in_, peer_slot_ + lo, deg, read_epoch);
-        Outbox out(out_ + lo, deg, write_epoch,
-                   static_cast<std::uint32_t>(lo), &sh.touched);
-        fn(v, in, out);
+        // Fully-inlined programs (generic lambdas) get the affine kDirect
+        // instantiations on direct rounds — no map load, the codegen of the
+        // pre-single-plane engine. Programs that name Inbox/Outbox (and the
+        // erased StepFn wrapper) take the uniform map path, whose single
+        // compiled body serves every plane mode.
+        using InT = BasicInbox<in_direct>;
+        using OutT = BasicOutbox<!out_peer>;
+        if constexpr (std::is_invocable_v<F&, NodeId, const InT&, OutT&>) {
+          const InT in(in_ + in_base, in_map, deg, read_epoch, hazard, this,
+                       v);
+          OutT out(out_ + out_base, out_map, deg, write_epoch,
+                   static_cast<std::uint32_t>(out_base), &sh.touched,
+                   write_slab);
+          fn(v, in, out);
+        } else {
+          const Inbox in(in_ + in_base, in_map, deg, read_epoch, hazard, this,
+                         v);
+          Outbox out(out_ + out_base, out_map, deg, write_epoch,
+                     static_cast<std::uint32_t>(out_base), &sh.touched,
+                     write_slab);
+          fn(v, in, out);
+        }
       } else {
-        const NarrowInbox in(this, nin_, peer_slot_ + lo, deg, read_epoch);
-        NarrowOutbox out(nout_ + lo, write_slab, this, v, deg, write_epoch,
-                         static_cast<std::uint32_t>(lo), &sh.touched,
+        const NarrowInbox in(this, nin_ + in_base, in_map, deg, read_epoch,
+                             static_cast<std::uint32_t>(in_base), hazard, v);
+        NarrowOutbox out(nout_ + out_base, out_map,
+                         static_cast<std::uint32_t>(out_base), write_slab,
+                         this, v, deg, write_epoch, &sh.touched,
                          declared_fields_);
         fn(v, in, out);
       }
@@ -572,14 +729,16 @@ class SyncNetwork {
     // Audit this shard's sent slots while still on the worker; merged (max /
     // sum, order-independent) at the barrier. The wide plane also enforces a
     // positive declared width here (the narrow plane enforces it in
-    // NarrowRef::push, before any slab traffic).
+    // NarrowRef::push, before any slab traffic). In a single plane's odd
+    // rounds the touched slot lives on the receiver's side, so the sender
+    // for the error message is the slot's peer.
     if constexpr (kWidePlane) {
       for (const std::uint32_t s : sh.touched) {
         const Message& m = out_[s];
         if (declared_fields_ > 0 &&
             m.size() > static_cast<std::size_t>(declared_fields_)) {
-          throw_width_violation(node_of_slot(s), s, declared_fields_,
-                                static_cast<int>(m.size()));
+          throw_width_violation(node_of_slot(out_peer ? peer_slot_[s] : s), s,
+                                declared_fields_, static_cast<int>(m.size()));
         }
         sh.audit.observe(m);
       }
@@ -613,6 +772,7 @@ class SyncNetwork {
   // Hot-path views into *topo_ (refreshed by bind_plan).
   const std::size_t* offsets_ = nullptr;
   const std::uint32_t* peer_slot_ = nullptr;
+  const std::uint32_t* iota_ = nullptr;  // iota map (direct rounds)
   const NodeId* shard_begin_ = nullptr;
 
   RoundLedger* ledger_ = nullptr;
@@ -629,7 +789,9 @@ class SyncNetwork {
   // Exactly one plane pair is sized, per format_; the other stays at
   // capacity 0. Keeping both as plain members (rather than templating the
   // class) preserves SyncNetwork as one concrete type for the pool and
-  // service layers.
+  // service layers. In PlaneMode::kSingle only the `a` plane of the active
+  // format is sized and in_/out_ (nin_/nout_) both point at it; out_is_a_
+  // then tracks round parity (true ⟺ the round in progress is even).
   std::vector<Message> buf_a_, buf_b_;
   Message* in_ = nullptr;   // delivered messages of the previous round
   Message* out_ = nullptr;  // slots being written this round
@@ -637,8 +799,15 @@ class SyncNetwork {
   NarrowSlot* nin_ = nullptr;
   NarrowSlot* nout_ = nullptr;
   bool out_is_a_ = true;
+  // A mid-round abort on a single plane has already overwritten some of last
+  // round's deliveries in place, so the pre-round state is unrecoverable;
+  // the network poisons itself and the next begin_round throws until
+  // reset(). Barrier-point aborts (cancellation, begin_round fault points)
+  // never touch a slot and never poison.
+  bool poisoned_ = false;
 
   SlotFormat format_ = SlotFormat::kWide;  // structural; never changes
+  PlaneMode mode_ = PlaneMode::kDouble;    // structural; never changes
   int declared_fields_ = 0;                // per-lease declared max width
   std::string component_;                  // retained for error messages
   // Global slot index at each shard's first slot (num_shards + 1 entries);
@@ -653,12 +822,26 @@ class SyncNetwork {
 
 // Defined here (not in-class) because they need the complete SyncNetwork.
 
+template <bool kDirect>
+inline const Message& BasicInbox<kDirect>::operator[](std::size_t i) const {
+  const Message& m = buf_[kDirect ? i : map_[i]];
+  if (m.epoch() == epoch_) return m;
+  // Stale path only: on double planes hazard_ is kNoHazardEpoch (never a
+  // real tag), so the live-read cost is exactly the pre-plane-mode path.
+  if (m.epoch() == hazard_) net_->throw_single_plane_hazard(v_, i);
+  return kEmptyMessage;
+}
+
 inline NarrowView NarrowInbox::operator[](std::size_t i) const {
-  const NarrowSlot& s = buf_[peer_[i]];
-  if (s.epoch() != epoch_) return {};
+  const std::uint32_t off = map_[i];
+  const NarrowSlot& s = buf_[off];
+  if (s.epoch() != epoch_) {
+    if (s.epoch() == hazard_) net_->throw_single_plane_hazard(v_, i);
+    return {};
+  }
   const std::uint32_t c = s.count();
   if (c <= 1) return {&s.payload_, c};
-  return {net_->resolve_spill(peer_[i], s.spill()), c};
+  return {net_->resolve_spill(base_ + off, s.spill()), c};
 }
 
 inline void NarrowRef::push(std::int64_t v) {

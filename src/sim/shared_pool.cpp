@@ -135,30 +135,33 @@ std::shared_ptr<const DiTopology> SharedNetworkPool::topology(
 template <class Net, class Topo>
 std::unique_ptr<Net> SharedNetworkPool::adopt(
     std::vector<std::unique_ptr<Net>> StateShard::* list,
-    const Topo* plan_key, SlotFormat format) {
+    const Topo* plan_key, SlotFormat format, PlaneMode mode) {
   const std::size_t home = shard_of_key(plan_key);
   for (std::size_t step = 0; step < kNumShards; ++step) {
     StateShard& sh = state_shards_[(home + step) % kNumShards];
     std::lock_guard<std::mutex> lock(sh.mu);
     auto& parked = sh.*list;
     if (parked.empty()) continue;
-    // The slot format is structural: only a same-format state is a
-    // candidate (rebind can re-declare the width but never swap planes).
-    // Newest-first keeps the historical LIFO behavior among matches.
+    // Slot format and plane mode are structural: only a state matching both
+    // is a candidate (rebind can re-declare the width but never swap planes
+    // or plane counts). Newest-first keeps the historical LIFO behavior
+    // among matches.
     std::size_t pick = parked.size();
     for (std::size_t i = parked.size(); i-- > 0;) {
-      if (parked[i]->slot_format() == format) {
+      if (parked[i]->slot_format() == format &&
+          parked[i]->plane_mode() == mode) {
         pick = i;
         break;
       }
     }
-    if (pick == parked.size()) continue;  // no same-format state here
+    if (pick == parked.size()) continue;  // no matching state here
     // In the home shard, prefer a state bound to this exact plan so the
     // caller's rebind degenerates to an O(shards) reset.
     if (step == 0) {
       for (std::size_t i = 0; i < parked.size(); ++i) {
         if (parked[i]->topology().get() == plan_key &&
-            parked[i]->slot_format() == format) {
+            parked[i]->slot_format() == format &&
+            parked[i]->plane_mode() == mode) {
           pick = i;
           break;
         }
@@ -173,13 +176,13 @@ std::unique_ptr<Net> SharedNetworkPool::adopt(
 }
 
 std::unique_ptr<SyncNetwork> SharedNetworkPool::adopt_network(
-    const NetworkTopology* plan_key, SlotFormat format) {
-  return adopt(&StateShard::nets, plan_key, format);
+    const NetworkTopology* plan_key, SlotFormat format, PlaneMode mode) {
+  return adopt(&StateShard::nets, plan_key, format, mode);
 }
 
 std::unique_ptr<DiNetwork> SharedNetworkPool::adopt_dinetwork(
-    const DiTopology* plan_key, SlotFormat format) {
-  return adopt(&StateShard::dinets, plan_key, format);
+    const DiTopology* plan_key, SlotFormat format, PlaneMode mode) {
+  return adopt(&StateShard::dinets, plan_key, format, mode);
 }
 
 template <class Net>

@@ -45,6 +45,19 @@ std::shared_ptr<const NetworkTopology> NetworkTopology::plan(const Graph& g,
     }
   }
 
+  // Iota map for direct-addressed rounds (see iota_map()); sized to the
+  // largest degree so every box's entries index into it.
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree,
+                          topo->offsets_[static_cast<std::size_t>(v) + 1] -
+                              topo->offsets_[static_cast<std::size_t>(v)]);
+  }
+  topo->iota_map_.resize(max_degree);
+  for (std::size_t i = 0; i < max_degree; ++i) {
+    topo->iota_map_[i] = static_cast<std::uint32_t>(i);
+  }
+
   // Shard nodes into contiguous ranges balanced by slot count.
   const int shards =
       std::max(1, std::min<int>(num_threads, g.num_nodes() + 1));

@@ -58,6 +58,16 @@ class NetworkTopology {
   /// peer's adjacency).
   std::span<const std::uint32_t> peer_slot() const { return peer_slot_; }
 
+  /// Iota map (0, 1, 2, …) of max-degree length. Boxes address slots
+  /// through one uniform `buf[base + map[i]]` load so their accessors carry
+  /// no plane-mode branch: direct-addressed rounds (double-plane outboxes,
+  /// even single-plane rounds) pass base = the node's first slot with this
+  /// as the map (base + i = the node's CSR slots), peer-delivered rounds
+  /// pass base = 0 with their peer_slot() slice. One max-degree-sized array
+  /// per plan — it stays L1-resident, so the direct map load costs no
+  /// memory bandwidth (unlike a per-slot global identity array would).
+  std::span<const std::uint32_t> iota_map() const { return iota_map_; }
+
   /// num_shards() + 1 node boundaries of the slot-balanced shard partition.
   std::span<const NodeId> shard_begin() const { return shard_begin_; }
 
@@ -74,6 +84,7 @@ class NetworkTopology {
   std::size_t memory_bytes() const {
     return offsets_.capacity() * sizeof(offsets_[0]) +
            peer_slot_.capacity() * sizeof(peer_slot_[0]) +
+           iota_map_.capacity() * sizeof(iota_map_[0]) +
            shard_begin_.capacity() * sizeof(shard_begin_[0]);
   }
 
@@ -84,6 +95,7 @@ class NetworkTopology {
   int num_shards_ = 1;
   std::vector<std::size_t> offsets_;      // n + 1
   std::vector<std::uint32_t> peer_slot_;  // 2m
+  std::vector<std::uint32_t> iota_map_;   // max degree; 0, 1, 2, …
   std::vector<NodeId> shard_begin_;       // num_shards + 1
 };
 

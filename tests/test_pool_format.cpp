@@ -51,11 +51,14 @@ TEST(PoolFormat, SharedParkAdoptFiltersByFormat) {
   EXPECT_EQ(shared.parked_run_states(), 1u);
 
   // A wide lease must NOT adopt the narrow state.
-  EXPECT_EQ(shared.adopt_network(topo.get(), SlotFormat::kWide), nullptr);
+  EXPECT_EQ(shared.adopt_network(topo.get(), SlotFormat::kWide,
+                                 PlaneMode::kDouble),
+            nullptr);
   EXPECT_EQ(shared.parked_run_states(), 1u);
 
   // A narrow lease gets exactly that state back.
-  auto adopted = shared.adopt_network(topo.get(), SlotFormat::kNarrow);
+  auto adopted = shared.adopt_network(topo.get(), SlotFormat::kNarrow,
+                                      PlaneMode::kDouble);
   ASSERT_NE(adopted, nullptr);
   EXPECT_EQ(adopted.get(), narrow_raw);
   EXPECT_EQ(adopted->slot_format(), SlotFormat::kNarrow);
@@ -64,8 +67,12 @@ TEST(PoolFormat, SharedParkAdoptFiltersByFormat) {
   auto wide_net = std::make_unique<SyncNetwork>(g, topo, nullptr, "wide",
                                                 SlotPlan{});
   shared.park(std::move(wide_net));
-  EXPECT_EQ(shared.adopt_network(topo.get(), SlotFormat::kNarrow), nullptr);
-  EXPECT_NE(shared.adopt_network(topo.get(), SlotFormat::kWide), nullptr);
+  EXPECT_EQ(shared.adopt_network(topo.get(), SlotFormat::kNarrow,
+                                 PlaneMode::kDouble),
+            nullptr);
+  EXPECT_NE(shared.adopt_network(topo.get(), SlotFormat::kWide,
+                                 PlaneMode::kDouble),
+            nullptr);
 }
 
 TEST(PoolFormat, SharedParkAdoptFiltersByFormatDiNetwork) {
@@ -76,8 +83,11 @@ TEST(PoolFormat, SharedParkAdoptFiltersByFormatDiNetwork) {
   auto narrow_net = std::make_unique<DiNetwork>(
       dg, topo, nullptr, "narrow", SlotPlan{SlotFormat::kNarrow, 2});
   shared.park(std::move(narrow_net));
-  EXPECT_EQ(shared.adopt_dinetwork(topo.get(), SlotFormat::kWide), nullptr);
-  auto adopted = shared.adopt_dinetwork(topo.get(), SlotFormat::kNarrow);
+  EXPECT_EQ(shared.adopt_dinetwork(topo.get(), SlotFormat::kWide,
+                                   PlaneMode::kDouble),
+            nullptr);
+  auto adopted = shared.adopt_dinetwork(topo.get(), SlotFormat::kNarrow,
+                                        PlaneMode::kDouble);
   ASSERT_NE(adopted, nullptr);
   EXPECT_EQ(adopted->slot_format(), SlotFormat::kNarrow);
 }
